@@ -1,0 +1,83 @@
+"""E9 — Figures 3-6 territory: the Appendix E geometry at scale, plus the
+cone-family size accounting of Section 5.1."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from benchmarks.conftest import loglog_slope, write_table
+from repro.graphs import build_cone_family
+
+
+def test_fact_e3_margin_profile(benchmark):
+    """(2+eps)(2 tan g + 1 - cos g) < eps at g = eps/32: tabulate the
+    margin across eps — the inequality that makes theta = eps/32 work."""
+    rows = []
+    for eps in [1.0, 0.5, 0.25, 0.125, 0.0625]:
+        g = eps / 32.0
+        lhs = (2 + eps) * (2 * math.tan(g) + 1 - math.cos(g))
+        rows.append([eps, round(g, 5), round(lhs, 5), round(lhs / eps, 4)])
+    write_table(
+        "geometry_fact_e3",
+        "E9a: Fact E.3 margin — lhs/eps must stay below 1",
+        ["eps", "g = eps/32", "lhs", "lhs/eps"],
+        rows,
+        notes="lhs/eps ~ 0.4 for small eps: the 1/32 constant has ~2.5x slack",
+    )
+    assert all(r[2] < r[0] for r in rows)
+
+    benchmark.pedantic(
+        lambda: [(2 + e) * (2 * math.tan(e / 32) + 1 - math.cos(e / 32))
+                 for e in np.linspace(0.01, 1, 1000)],
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_cone_counts_scale_as_theory(benchmark):
+    """|C| = O((1/theta)^(d-1)): measure the exponent per dimension."""
+    rows = []
+    for dim in [2, 3]:
+        thetas = [1.2, 0.8, 0.5, 0.3] if dim == 3 else [0.5, 0.25, 0.125, 0.0625]
+        counts = [build_cone_family(t, dim).num_cones for t in thetas]
+        slope = loglog_slope([1 / t for t in thetas], counts)
+        rows.append([dim, str([round(t, 3) for t in thetas]), str(counts),
+                     round(slope, 2), dim - 1])
+    write_table(
+        "geometry_cone_counts",
+        "E9b: cone-family size vs 1/theta (Yao construction substitute)",
+        ["d", "thetas", "|C|", "measured exponent", "theory d-1"],
+        rows,
+        notes="measured exponent should approach d-1 (up to grid rounding)",
+    )
+    for r in rows:
+        assert r[3] <= r[4] + 0.7  # grid rounding inflates small counts
+
+    benchmark.pedantic(lambda: build_cone_family(0.3, 3), rounds=1, iterations=1)
+
+
+def test_cone_covering_certificates(benchmark, bench_rng):
+    """The corner certificate really covers: stress with 10^5 random
+    directions per family."""
+    rows = []
+    for dim, theta in [(2, 0.1), (3, 0.6), (4, 1.2)]:
+        fam = build_cone_family(theta, dim)
+        dirs = bench_rng.normal(size=(100_000, dim))
+        dirs /= np.linalg.norm(dirs, axis=1, keepdims=True)
+        member = fam.membership(dirs)
+        uncovered = int((~member.any(axis=1)).sum())
+        rows.append([dim, theta, fam.num_cones, uncovered])
+        assert uncovered == 0
+    write_table(
+        "geometry_cone_cover",
+        "E9c: covering stress test — uncovered directions out of 100k",
+        ["d", "theta", "|C|", "uncovered"],
+        rows,
+        notes="must be 0 everywhere (cones must cover R^d for Lemma 5.1)",
+    )
+
+    fam = build_cone_family(0.6, 3)
+    dirs = bench_rng.normal(size=(100_000, 3))
+    benchmark.pedantic(lambda: fam.membership(dirs), rounds=1, iterations=1)

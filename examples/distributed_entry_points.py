@@ -1,0 +1,91 @@
+"""Start-vertex flexibility as a load balancer — the paper's closing
+observation made runnable.
+
+Run:  python examples/distributed_entry_points.py
+
+The paper's "paradigm critique" ends on a strength: greedy works from
+*any* start vertex, which "suggests that the paradigm may have strengths
+in enforcing load-balancing in network-scale distributed computing
+(Internet-of-Things applications)".
+
+We simulate that setting: the proximity graph is a physical sensor
+network (each vertex = a node that can measure distance-to-query and
+forward).  Queries arrive at random gateway nodes — there is no central
+entry point.  Because G_net guarantees a (1+eps)-ANN from every start:
+
+* answer quality is identical no matter the gateway;
+* per-node traffic (how often each node serves as a hop) spreads out,
+  instead of hammering a single root/entry node the way tree-structured
+  or fixed-entry indexes do.
+
+We measure both, comparing random gateways against an HNSW-style fixed
+entry point on the same graph.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs import build_gnet, greedy
+from repro.workloads import make_dataset, uniform_cube, uniform_queries
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+    n = 600
+    ds = make_dataset(uniform_cube(n, 2, rng))  # sensor positions
+    res = build_gnet(ds, epsilon=0.5, method="grid")
+    points = np.asarray(ds.points)
+    queries = list(uniform_queries(400, points, rng))
+
+    def run(entry_policy: str) -> tuple[np.ndarray, float]:
+        load = np.zeros(n, dtype=np.int64)
+        worst_ratio = 1.0
+        for q in queries:
+            start = 0 if entry_policy == "fixed" else int(rng.integers(n))
+            result = greedy(res.graph, ds, start, q)
+            for hop in result.hops:
+                load[hop] += 1
+            nn = ds.distances_to_query_all(q).min()
+            if nn > 0:
+                worst_ratio = max(worst_ratio, result.distance / nn)
+        return load, worst_ratio
+
+    print(f"Sensor network: {n} nodes, G_net with eps=0.5 "
+          f"({res.graph.num_edges} links), 400 queries\n")
+    for policy in ["fixed", "random"]:
+        load, worst = run(policy)
+        busiest = load.max()
+        p99 = int(np.percentile(load, 99))
+        gini = _gini(load)
+        print(f"entry policy: {policy:6s}   worst answer ratio: {worst:.4f}  "
+              f"(guarantee <= 1.5)")
+        print(f"  busiest node handled {busiest} hops; p99 load {p99}; "
+              f"load Gini {gini:.3f}")
+        print(f"  load histogram: {_sparkline(load)}\n")
+
+    print(
+        "Same guarantee either way — that's the point.  But the fixed entry "
+        "node becomes\na hotspot (its load ~= the query count), while random "
+        "gateways spread traffic\nacross the network. The guarantee is what "
+        "makes the random policy safe."
+    )
+
+
+def _gini(x: np.ndarray) -> float:
+    x = np.sort(x.astype(float))
+    if x.sum() == 0:
+        return 0.0
+    cum = np.cumsum(x)
+    return float(1 - 2 * (cum / cum[-1]).mean() + 1 / len(x))
+
+
+def _sparkline(load: np.ndarray, bins: int = 30) -> str:
+    hist, _ = np.histogram(load, bins=bins)
+    blocks = " .:-=+*#%@"
+    top = hist.max() or 1
+    return "".join(blocks[min(int(h / top * (len(blocks) - 1)), 9)] for h in hist)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+"""Embedding similarity search — the workload the paper's introduction
+motivates (recommendation systems, multimedia search, DB-for-AI).
+
+Run:  python examples/embedding_search.py
+
+We simulate an embedding corpus the way such corpora actually look: a
+mixture of topic clusters on a low-dimensional manifold inside a higher-
+dimensional ambient space (real embeddings have low *intrinsic* —
+doubling — dimension, which is exactly the parameter lambda the paper's
+bounds depend on).  The example then contrasts:
+
+* G_net (Theorem 1.1)     — guaranteed (1+eps)-ANN for every query;
+* HNSW                    — the empirical champion, no guarantee;
+* k-NN digraph            — the naive graph, which visibly fails.
+
+The punchline mirrors the paper's question "is PG performance driven by
+dataset properties, or inherent strengths?".  Each query regime breaks
+the unguaranteed graphs differently: on in-distribution queries (tiny NN
+distances, so (1+eps) is a *demanding* target) they silently return
+points several times farther than the true neighbor; on out-of-
+distribution queries their recall collapses.  The guaranteed
+construction holds the eps contract in both regimes — by theorem, not by
+luck.  (All methods are routed with the paper's greedy procedure on
+their graphs, the model the theory speaks about.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import build, measure_queries
+from repro.metrics import Dataset, EuclideanMetric
+from repro.metrics.scaling import normalize_min_distance
+
+
+def synthetic_embedding_corpus(
+    n: int, intrinsic_dim: int, ambient_dim: int, topics: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Topic mixture on a random low-dimensional subspace + small ambient
+    noise — a standard model of learned embedding geometry."""
+    basis = np.linalg.qr(rng.normal(size=(ambient_dim, intrinsic_dim)))[0]
+    centers = rng.normal(size=(topics, intrinsic_dim)) * 4.0
+    topic_of = rng.integers(topics, size=n)
+    latent = centers[topic_of] + rng.normal(size=(n, intrinsic_dim)) * 0.35
+    return latent @ basis.T + rng.normal(size=(n, ambient_dim)) * 0.01
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    n, intrinsic, ambient, topics = 800, 3, 12, 10
+    corpus = synthetic_embedding_corpus(n, intrinsic, ambient, topics, rng)
+    dataset, _ = normalize_min_distance(Dataset(EuclideanMetric(), corpus))
+    points = np.asarray(dataset.points)
+    eps = 1.0
+
+    print(f"Corpus: {n} embeddings, ambient dim {ambient}, intrinsic dim ~{intrinsic}")
+
+    # In-distribution queries: perturbed corpus items (a user looking for
+    # "more like this").  Out-of-distribution: far random directions (a
+    # cold-start query, adversarial input, or distribution shift).
+    diag = float(np.linalg.norm(points.max(0) - points.min(0)))
+    easy = [points[i] + rng.normal(size=ambient) * 0.01 * diag for i in range(0, n, 40)]
+    hard = [
+        points.mean(0) + d / np.linalg.norm(d) * diag * 2.5
+        for d in rng.normal(size=(20, ambient))
+    ]
+
+    header = f"{'method':10s} {'edges':>8s} {'evals/q':>9s} {'recall@1':>9s} {'eps ok':>7s}"
+    for label, queries in [("in-distribution", easy), ("out-of-distribution", hard)]:
+        print(f"\n--- {label} queries ---")
+        print(header)
+        for name, opts in [("gnet", {}), ("hnsw", {"m": 8}), ("knn", {"k": 8})]:
+            built = build(name, dataset, eps, np.random.default_rng(1), **opts)
+            stats = measure_queries(built.graph, dataset, queries, epsilon=eps)
+            print(
+                f"{name:10s} {built.graph.num_edges:8d} "
+                f"{stats.mean_distance_evals:9.1f} {stats.recall_at_1:9.3f} "
+                f"{stats.epsilon_satisfied_fraction:7.3f}"
+            )
+
+    print(
+        "\nReading: gnet's 'eps ok' column is 1.0 in every row — that is "
+        "Theorem 1.1.\nIn-distribution, the unguaranteed graphs miss the "
+        "(1+eps) contract (tiny NN\ndistances make it demanding); out-of-"
+        "distribution their recall collapses even\nthough far queries "
+        "satisfy eps trivially.  The guarantee costs edges — that is\n"
+        "the trade Theorem 1.2 proves unavoidable."
+    )
+
+
+if __name__ == "__main__":
+    main()

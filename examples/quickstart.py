@@ -1,0 +1,60 @@
+"""Quickstart: build a provable (1+eps)-ANN index and query it.
+
+Run:  python examples/quickstart.py
+
+Demonstrates the core loop of the library on a small Euclidean dataset:
+build the Theorem 1.1 graph (G_net), inspect its structural statistics,
+answer queries with the paper's greedy routine, validate navigability
+(Fact 2.1), and compare against brute force.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import ProximityGraphIndex
+from repro.metrics import Dataset, EuclideanMetric
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+
+    # 1. Some data: 1,000 points in the unit square.
+    points = rng.uniform(size=(1000, 2))
+
+    # 2. Build the index.  epsilon=0.5 means every greedy query is
+    #    guaranteed to return a point within 1.5x of the true NN distance,
+    #    from any start vertex, for any query in R^2.
+    index = ProximityGraphIndex.build(points, epsilon=0.5, method="gnet", seed=0)
+    print("Graph statistics:")
+    for key, value in index.stats().items():
+        print(f"  {key:>22}: {value}")
+
+    # 3. Query.  Start vertex is arbitrary (the paper highlights this
+    #    flexibility); distances come back in the original units.
+    exact = Dataset(EuclideanMetric(), points)
+    print("\nQueries (greedy vs exact):")
+    worst_ratio = 1.0
+    for _ in range(8):
+        q = rng.uniform(size=2)
+        pid, dist = index.query(q)
+        nn_id, nn_dist = exact.nearest_neighbor(q)
+        ratio = dist / nn_dist if nn_dist > 0 else 1.0
+        worst_ratio = max(worst_ratio, ratio)
+        marker = "exact" if pid == nn_id else f"ratio {ratio:.4f}"
+        print(f"  q=({q[0]:.3f}, {q[1]:.3f})  ->  point {pid:4d}  ({marker})")
+    print(f"\nWorst observed ratio: {worst_ratio:.4f}  (guarantee: <= 1.5)")
+
+    # 4. Validate the guarantee explicitly on a query batch (Fact 2.1).
+    queries = [rng.uniform(-0.2, 1.2, size=2) for _ in range(100)]
+    violations = index.validate(queries, stop_at=None)
+    print(f"Navigability violations on 100 random queries: {len(violations)}")
+
+    # 5. Top-k via beam search (the practical extension every deployed
+    #    system uses on top of the greedy model).
+    q = np.array([0.5, 0.5])
+    print(f"\nTop-5 near (0.5, 0.5): {[(p, round(d, 4)) for p, d in index.query_k(q, k=5)]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,18 @@
+"""Empirical-analysis toolkit: scaling-law fits and theory-vs-measured
+accounting used by benches and examples."""
+
+from repro.analysis.fits import LinearFit, PowerLawFit, fit_linear, fit_power_law
+from repro.analysis.theory import TheoryReport, gnet_theory_report
+from repro.analysis.traces import HopRecord, TraceReport, trace_report
+
+__all__ = [
+    "LinearFit",
+    "PowerLawFit",
+    "HopRecord",
+    "TheoryReport",
+    "TraceReport",
+    "fit_linear",
+    "fit_power_law",
+    "gnet_theory_report",
+    "trace_report",
+]

@@ -1,0 +1,100 @@
+"""Growth-law fitting for empirical scaling curves.
+
+The benches' claims are of the form "quantity Q grows like x^a (times
+polylog)": edges vs n, build time vs n, cone count vs 1/theta.  This
+module provides the small statistics toolkit they rest on — power-law
+fits with goodness-of-fit, growth-exponent confidence via leave-one-out,
+and linear fits for the `edges/n vs log Delta` family — implemented on
+plain numpy so there is no scipy dependency at runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["PowerLawFit", "LinearFit", "fit_power_law", "fit_linear"]
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """Least-squares fit of ``y = c * x^exponent`` in log-log space."""
+
+    exponent: float
+    constant: float
+    r_squared: float
+    exponent_range: tuple[float, float]  # leave-one-out min/max
+
+    def predict(self, x: float) -> float:
+        return self.constant * x**self.exponent
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """Ordinary least squares ``y = slope * x + intercept``."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        return self.slope * x + self.intercept
+
+
+def _ols(x: np.ndarray, y: np.ndarray) -> tuple[float, float, float]:
+    x_c = x - x.mean()
+    y_c = y - y.mean()
+    denom = float(x_c @ x_c)
+    if denom == 0:
+        raise ValueError("all x values identical — slope undefined")
+    slope = float((x_c @ y_c) / denom)
+    intercept = float(y.mean() - slope * x.mean())
+    resid = y - (slope * x + intercept)
+    total = float(y_c @ y_c)
+    r2 = 1.0 if total == 0 else 1.0 - float(resid @ resid) / total
+    return slope, intercept, r2
+
+
+def fit_linear(xs, ys) -> LinearFit:
+    """OLS line fit with R^2."""
+    x = np.asarray(xs, dtype=np.float64)
+    y = np.asarray(ys, dtype=np.float64)
+    if len(x) < 2 or len(x) != len(y):
+        raise ValueError("need at least two (x, y) pairs of equal length")
+    slope, intercept, r2 = _ols(x, y)
+    return LinearFit(slope=slope, intercept=intercept, r_squared=r2)
+
+
+def fit_power_law(xs, ys) -> PowerLawFit:
+    """Fit ``y = c * x^a`` and report how stable the exponent is.
+
+    ``exponent_range`` is the min/max exponent over leave-one-out refits
+    — a cheap robustness check benches use instead of asserting on a
+    single noisy slope (3+ points required; with exactly 2 the range
+    degenerates to the point estimate).
+    """
+    x = np.asarray(xs, dtype=np.float64)
+    y = np.asarray(ys, dtype=np.float64)
+    if len(x) < 2 or len(x) != len(y):
+        raise ValueError("need at least two (x, y) pairs of equal length")
+    if (x <= 0).any() or (y <= 0).any():
+        raise ValueError("power-law fitting needs positive data")
+    lx, ly = np.log(x), np.log(y)
+    slope, intercept, r2 = _ols(lx, ly)
+
+    if len(x) >= 3:
+        loo = []
+        for k in range(len(x)):
+            keep = np.arange(len(x)) != k
+            s, _, _ = _ols(lx[keep], ly[keep])
+            loo.append(s)
+        rng = (min(loo), max(loo))
+    else:
+        rng = (slope, slope)
+    return PowerLawFit(
+        exponent=slope,
+        constant=float(np.exp(intercept)),
+        r_squared=r2,
+        exponent_range=rng,
+    )

@@ -1,0 +1,80 @@
+"""Side-by-side theory/practice accounting for a built graph.
+
+Given a :class:`~repro.graphs.gnet.GNetBuildResult` (or merged result),
+compute the paper's explicit bounds with all constants (Fact 2.3's
+``(8A)^lambda`` packing, equation (4)'s phi, the h+1 level count) and
+report the measured counterparts plus the implied constant-factor gap.
+Benches and examples use this to answer "how loose are the constants?"
+quantitatively rather than rhetorically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graphs.gnet import GNetBuildResult
+
+__all__ = ["TheoryReport", "gnet_theory_report"]
+
+
+@dataclass(frozen=True)
+class TheoryReport:
+    """Measured vs bound for one built G_net."""
+
+    n: int
+    height: int
+    phi: float
+    doubling_dimension: float
+    edges_measured: int
+    edges_bound: float
+    max_degree_measured: int
+    max_degree_bound: float
+    per_level_sizes: tuple[int, ...]
+    per_level_edges: tuple[int, ...]
+
+    @property
+    def edge_slack(self) -> float:
+        """bound / measured — how much headroom the analysis leaves."""
+        return self.edges_bound / max(self.edges_measured, 1)
+
+    @property
+    def degree_slack(self) -> float:
+        return self.max_degree_bound / max(self.max_degree_measured, 1)
+
+    def rows(self) -> list[list]:
+        """Table rows (quantity, measured, bound, slack) for reports."""
+        return [
+            ["edges", self.edges_measured, round(self.edges_bound, 1),
+             round(self.edge_slack, 1)],
+            ["max out-degree", self.max_degree_measured,
+             round(self.max_degree_bound, 1), round(self.degree_slack, 1)],
+        ]
+
+
+def gnet_theory_report(
+    result: GNetBuildResult, doubling_dimension: float
+) -> TheoryReport:
+    """Instantiate the Section 2.3 size analysis with explicit constants.
+
+    The degree bound per level is Fact 2.3 applied to the level's
+    out-neighborhood (aspect ratio <= 2 phi): ``(16 phi)^lambda``; total
+    degree multiplies by ``h + 1`` levels; total edges multiply by ``n``.
+    """
+    params = result.params
+    per_level = params.per_level_degree_bound(doubling_dimension)
+    degree_bound = (params.height + 1) * per_level
+    n = result.graph.n
+    return TheoryReport(
+        n=n,
+        height=params.height,
+        phi=params.phi,
+        doubling_dimension=doubling_dimension,
+        edges_measured=result.graph.num_edges,
+        edges_bound=n * degree_bound,
+        max_degree_measured=result.graph.max_out_degree(),
+        max_degree_bound=degree_bound,
+        per_level_sizes=tuple(result.level_sizes),
+        per_level_edges=tuple(result.level_edge_counts),
+    )

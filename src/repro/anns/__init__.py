@@ -1,0 +1,10 @@
+"""Dynamic nearest-neighbor substrates: the contract required by the
+Section 2.4 build loop plus three implementations (cover tree, hash grid,
+brute force)."""
+
+from repro.anns.base import DynamicANN
+from repro.anns.bruteforce import BruteForceANN
+from repro.anns.cover_tree import CoverTree
+from repro.anns.grid import GridANN
+
+__all__ = ["BruteForceANN", "CoverTree", "DynamicANN", "GridANN"]

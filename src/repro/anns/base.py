@@ -1,0 +1,90 @@
+"""Contract for the dynamic ANN structure ``T`` used by the Section 2.4
+build algorithm.
+
+The build loop needs, per level, a structure over the current net ``Y_i``
+supporting (i) 2-ANN queries from an arbitrary data point, (ii) deletion,
+and (iii) re-insertion (the paper's ``t_qry``/``t_upd`` costs).  The paper
+plugs in Cole & Gottlieb's structure; we provide a dynamic cover tree and
+a brute-force oracle behind this shared interface.
+
+All structures index *dataset point ids*; distances always flow through
+the dataset's metric so a :class:`~repro.metrics.counting.CountingMetric`
+wrapper observes every evaluation.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Iterable
+
+import numpy as np
+
+from repro.metrics.base import Dataset
+
+__all__ = ["DynamicANN"]
+
+
+class DynamicANN(ABC):
+    """Dynamic nearest-neighbor structure over a subset of dataset ids."""
+
+    def __init__(self, dataset: Dataset):
+        self.dataset = dataset
+
+    # -- updates ---------------------------------------------------------
+
+    @abstractmethod
+    def insert(self, point_id: int) -> None:
+        """Add data point ``point_id`` to the structure."""
+
+    @abstractmethod
+    def delete(self, point_id: int) -> None:
+        """Remove data point ``point_id`` from the structure."""
+
+    def insert_many(self, point_ids: Iterable[int]) -> None:
+        for pid in point_ids:
+            self.insert(int(pid))
+
+    # -- queries ---------------------------------------------------------
+
+    @abstractmethod
+    def nearest(self, query: Any) -> tuple[int, float] | None:
+        """Exact nearest stored point to ``query`` (a raw metric point),
+        or ``None`` when empty.  An exact NN is in particular a valid
+        2-ANN, the contract Section 2.4 requires."""
+
+    @abstractmethod
+    def knn(self, query: Any, k: int) -> list[tuple[int, float]]:
+        """The ``k`` nearest stored points to ``query``, ascending."""
+
+    @abstractmethod
+    def range_search(self, query: Any, radius: float) -> list[tuple[int, float]]:
+        """All stored points within ``radius`` of ``query``."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of (live) stored points."""
+
+    # -- id-based conveniences --------------------------------------------
+
+    def nearest_to_id(self, point_id: int) -> tuple[int, float] | None:
+        """Nearest stored point to the data point ``point_id``; the stored
+        copy of ``point_id`` itself (distance 0) is a legal answer, so
+        callers that want a *neighbor* should delete first (as the
+        Section 2.4 loop does) or use :meth:`knn`."""
+        return self.nearest(self.dataset.points[int(point_id)])
+
+    def second_nearest_to_id(self, point_id: int) -> tuple[int, float] | None:
+        """Nearest stored point other than ``point_id`` itself — what the
+        Section 2.4 remark's ``d_min`` estimation queries."""
+        for cand, dist in self.knn(self.dataset.points[int(point_id)], 2):
+            if cand != int(point_id):
+                return cand, dist
+        return None
+
+    @staticmethod
+    def _as_sorted(pairs: list[tuple[int, float]]) -> list[tuple[int, float]]:
+        return sorted(pairs, key=lambda t: (t[1], t[0]))
+
+    @staticmethod
+    def _ids_array(pairs: list[tuple[int, float]]) -> np.ndarray:
+        return np.array([p for p, _ in pairs], dtype=np.intp)

@@ -1,0 +1,68 @@
+"""Brute-force dynamic NN structure.
+
+Exact by construction; serves as (i) the correctness oracle for the cover
+tree in tests, and (ii) a perfectly valid (if slow) plug-in for the
+Section 2.4 build loop on small inputs — the build algorithm's output is
+independent of which conforming structure is used.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.anns.base import DynamicANN
+from repro.metrics.base import Dataset
+
+__all__ = ["BruteForceANN"]
+
+
+class BruteForceANN(DynamicANN):
+    """Linear-scan implementation of :class:`DynamicANN`."""
+
+    def __init__(self, dataset: Dataset, point_ids: Any = ()):
+        super().__init__(dataset)
+        self._live: set[int] = set()
+        self.insert_many(point_ids)
+
+    def insert(self, point_id: int) -> None:
+        point_id = int(point_id)
+        if not 0 <= point_id < self.dataset.n:
+            raise ValueError(f"point id {point_id} out of range")
+        self._live.add(point_id)
+
+    def delete(self, point_id: int) -> None:
+        self._live.remove(int(point_id))
+
+    def _scan(self, query: Any) -> tuple[np.ndarray, np.ndarray]:
+        ids = np.fromiter(self._live, dtype=np.intp, count=len(self._live))
+        if len(ids) == 0:
+            return ids, np.empty(0)
+        dists = self.dataset.distances_to_query(query, ids)
+        return ids, dists
+
+    def nearest(self, query: Any) -> tuple[int, float] | None:
+        ids, dists = self._scan(query)
+        if len(ids) == 0:
+            return None
+        j = int(np.argmin(dists))
+        return int(ids[j]), float(dists[j])
+
+    def knn(self, query: Any, k: int) -> list[tuple[int, float]]:
+        ids, dists = self._scan(query)
+        if len(ids) == 0:
+            return []
+        take = min(int(k), len(ids))
+        sel = np.argsort(dists, kind="stable")[:take]
+        return self._as_sorted([(int(ids[j]), float(dists[j])) for j in sel])
+
+    def range_search(self, query: Any, radius: float) -> list[tuple[int, float]]:
+        ids, dists = self._scan(query)
+        hit = dists <= radius
+        return self._as_sorted(
+            [(int(i), float(d)) for i, d in zip(ids[hit], dists[hit])]
+        )
+
+    def __len__(self) -> int:
+        return len(self._live)

@@ -1,0 +1,24 @@
+"""Baseline graph constructions the paper positions itself against:
+DiskANN (slow preprocessing — the only prior method with guarantees),
+HNSW and NSW (the empirical systems), and the trivial anchors."""
+
+from repro.baselines.diskann import (
+    DiskANNBuildResult,
+    alpha_for_epsilon,
+    build_diskann_slow,
+)
+from repro.baselines.hnsw import HNSWIndex
+from repro.baselines.nsw import NSWIndex
+from repro.baselines.trivial import build_complete_graph, build_knn_digraph
+from repro.baselines.vamana import VamanaIndex
+
+__all__ = [
+    "DiskANNBuildResult",
+    "HNSWIndex",
+    "NSWIndex",
+    "VamanaIndex",
+    "alpha_for_epsilon",
+    "build_complete_graph",
+    "build_diskann_slow",
+    "build_knn_digraph",
+]

@@ -1,0 +1,201 @@
+"""HNSW — hierarchical navigable small world graphs (Malkov & Yashunin [22]).
+
+The empirical champion the paper's introduction motivates.  No worst-case
+guarantee exists for it (Indyk & Xu [18]); it appears here as the system
+baseline the benches compare the provable constructions against.
+
+Implementation follows the published algorithm:
+
+* each point draws a top level from a geometric distribution with scale
+  ``m_L = 1 / ln(M)``;
+* insertion greedily descends from the entry point to the target level,
+  then runs an ``ef_construction``-beam at each level downward, selecting
+  ``M`` neighbors (optionally with the "heuristic" diversity rule, which
+  is the published Algorithm 4) and linking bidirectionally, pruning
+  overflowing adjacency back to ``M_max``;
+* search descends greedily to level 1, then runs an ``ef``-beam at level 0.
+
+The structure exposes its level-0 adjacency as a
+:class:`~repro.graphs.base.ProximityGraph` so the paper's greedy/navigability
+machinery can interrogate it directly.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Any
+
+import numpy as np
+
+from repro.graphs.base import ProximityGraph
+from repro.metrics.base import Dataset
+
+__all__ = ["HNSWIndex"]
+
+
+class HNSWIndex:
+    """Hierarchical NSW index over a dataset.
+
+    Parameters
+    ----------
+    m:
+        Target degree ``M``; level-0 allows ``2 * M``.
+    ef_construction:
+        Beam width during insertion.
+    use_heuristic:
+        Apply the diversity-select rule (Algorithm 4 of [22]) instead of
+        plain nearest-``M`` selection.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        rng: np.random.Generator,
+        m: int = 8,
+        ef_construction: int = 64,
+        use_heuristic: bool = True,
+    ):
+        if m < 2:
+            raise ValueError("M must be at least 2")
+        self.dataset = dataset
+        self.m = int(m)
+        self.m_max0 = 2 * self.m
+        self.ef_construction = int(ef_construction)
+        self.use_heuristic = bool(use_heuristic)
+        self._ml = 1.0 / math.log(self.m)
+        # adjacency[level][node] -> list of neighbor ids
+        self._adj: list[dict[int, list[int]]] = []
+        self.entry_point: int | None = None
+        self._node_level: dict[int, int] = {}
+        for pid in range(dataset.n):
+            self._insert(pid, rng)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def max_level(self) -> int:
+        return len(self._adj) - 1
+
+    def neighbors(self, node: int, level: int) -> list[int]:
+        return self._adj[level].get(node, [])
+
+    def base_layer_graph(self) -> ProximityGraph:
+        """Level-0 adjacency as a flat directed graph."""
+        return ProximityGraph(
+            self.dataset.n,
+            [
+                np.array(self._adj[0].get(u, []), dtype=np.intp)
+                for u in range(self.dataset.n)
+            ],
+        )
+
+    # ------------------------------------------------------------------
+
+    def _distance(self, q: Any, node: int) -> float:
+        return self.dataset.distance_to_query(q, node)
+
+    def _search_layer(
+        self, q: Any, entry: list[int], ef: int, level: int
+    ) -> list[tuple[float, int]]:
+        """Beam search within one layer; returns up to ``ef`` closest
+        ``(distance, id)`` pairs, ascending."""
+        visited = set(entry)
+        cand: list[tuple[float, int]] = []
+        best: list[tuple[float, int]] = []  # max-heap via negation
+        for e in entry:
+            d = self._distance(q, e)
+            heapq.heappush(cand, (d, e))
+            heapq.heappush(best, (-d, e))
+        while cand:
+            d, u = heapq.heappop(cand)
+            if d > -best[0][0] and len(best) >= ef:
+                break
+            for v in self.neighbors(u, level):
+                if v in visited:
+                    continue
+                visited.add(v)
+                dv = self._distance(q, v)
+                if len(best) < ef or dv < -best[0][0]:
+                    heapq.heappush(cand, (dv, v))
+                    heapq.heappush(best, (-dv, v))
+                    if len(best) > ef:
+                        heapq.heappop(best)
+        return sorted((-d, v) for d, v in best)
+
+    def _select_neighbors(
+        self, candidates: list[tuple[float, int]], m: int
+    ) -> list[int]:
+        """Top-``m`` selection; with the heuristic, prefer candidates
+        closer to the base point than to any already-selected neighbor
+        (diversity rule)."""
+        if not self.use_heuristic:
+            return [v for _, v in candidates[:m]]
+        selected: list[tuple[float, int]] = []
+        for d, v in candidates:
+            if len(selected) >= m:
+                break
+            ok = True
+            for _, u in selected:
+                if self.dataset.distance(u, v) < d:
+                    ok = False
+                    break
+            if ok:
+                selected.append((d, v))
+        if len(selected) < m:
+            chosen = {v for _, v in selected}
+            for d, v in candidates:
+                if len(selected) >= m:
+                    break
+                if v not in chosen:
+                    selected.append((d, v))
+        return [v for _, v in selected]
+
+    def _insert(self, pid: int, rng: np.random.Generator) -> None:
+        level = int(-math.log(max(rng.random(), 1e-300)) * self._ml)
+        self._node_level[pid] = level
+        while len(self._adj) <= level:
+            self._adj.append({})
+        q = self.dataset.points[pid]
+
+        if self.entry_point is None:
+            self.entry_point = pid
+            for lvl in range(level + 1):
+                self._adj[lvl][pid] = []
+            return
+
+        entry = [self.entry_point]
+        # Greedy descent above the insertion level.
+        for lvl in range(self.max_level, level, -1):
+            entry = [self._search_layer(q, entry, 1, lvl)[0][1]]
+        # Beam insert at each level from min(level, old max) down to 0.
+        for lvl in range(min(level, self.max_level), -1, -1):
+            found = self._search_layer(q, entry, self.ef_construction, lvl)
+            found = [(d, v) for d, v in found if v != pid]
+            m_max = self.m_max0 if lvl == 0 else self.m
+            chosen = self._select_neighbors(found, self.m)
+            self._adj[lvl][pid] = list(chosen)
+            for v in chosen:
+                nbrs = self._adj[lvl].setdefault(v, [])
+                nbrs.append(pid)
+                if len(nbrs) > m_max:
+                    pairs = sorted(
+                        (self.dataset.distance(v, u), u) for u in set(nbrs)
+                    )
+                    self._adj[lvl][v] = self._select_neighbors(pairs, m_max)
+            entry = [v for _, v in found] or entry
+        if level > self._node_level.get(self.entry_point, 0):
+            self.entry_point = pid
+
+    # ------------------------------------------------------------------
+
+    def search(self, q: Any, k: int = 1, ef: int | None = None) -> list[tuple[int, float]]:
+        """Top-``k`` approximate neighbors of ``q`` (``(id, distance)``)."""
+        if self.entry_point is None:
+            return []
+        ef = max(int(ef) if ef is not None else self.ef_construction, k)
+        entry = [self.entry_point]
+        for lvl in range(self.max_level, 0, -1):
+            entry = [self._search_layer(q, entry, 1, lvl)[0][1]]
+        found = self._search_layer(q, entry, ef, 0)
+        return [(v, d) for d, v in found[:k]]

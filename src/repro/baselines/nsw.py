@@ -1,0 +1,90 @@
+"""NSW — flat navigable small world graph (Malkov et al. [21]).
+
+The predecessor of HNSW and the first system the paper's related work
+lists.  Points are inserted in random order; each new point is linked
+bidirectionally to its ``m`` (approximate) nearest current members, found
+by beam search on the graph built so far.  Early random insertions create
+long-range "small world" links; no worst-case guarantee exists.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any
+
+import numpy as np
+
+from repro.graphs.base import ProximityGraph
+from repro.metrics.base import Dataset
+
+__all__ = ["NSWIndex"]
+
+
+class NSWIndex:
+    """Flat small-world graph with beam-search construction and queries."""
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        rng: np.random.Generator,
+        m: int = 8,
+        ef_construction: int = 32,
+    ):
+        if m < 1:
+            raise ValueError("m must be at least 1")
+        self.dataset = dataset
+        self.m = int(m)
+        self.ef_construction = int(ef_construction)
+        self._adj: list[set[int]] = [set() for _ in range(dataset.n)]
+        self._members: list[int] = []
+        for pid in rng.permutation(dataset.n):
+            self._insert(int(pid))
+
+    def _insert(self, pid: int) -> None:
+        if self._members:
+            found = self._beam(
+                self.dataset.points[pid],
+                ef=max(self.ef_construction, self.m),
+                entry=self._members[0],
+            )
+            for _, v in found[: self.m]:
+                self._adj[pid].add(v)
+                self._adj[v].add(pid)
+        self._members.append(pid)
+
+    def _beam(self, q: Any, ef: int, entry: int) -> list[tuple[float, int]]:
+        d0 = self.dataset.distance_to_query(q, entry)
+        visited = {entry}
+        cand = [(d0, entry)]
+        best = [(-d0, entry)]
+        while cand:
+            d, u = heapq.heappop(cand)
+            if len(best) >= ef and d > -best[0][0]:
+                break
+            for v in self._adj[u]:
+                if v in visited:
+                    continue
+                visited.add(v)
+                dv = self.dataset.distance_to_query(q, v)
+                if len(best) < ef or dv < -best[0][0]:
+                    heapq.heappush(cand, (dv, v))
+                    heapq.heappush(best, (-dv, v))
+                    if len(best) > ef:
+                        heapq.heappop(best)
+        return sorted((-d, v) for d, v in best)
+
+    # ------------------------------------------------------------------
+
+    def graph(self) -> ProximityGraph:
+        """The (symmetric) adjacency as a directed graph."""
+        return ProximityGraph(
+            self.dataset.n,
+            [np.array(sorted(s), dtype=np.intp) for s in self._adj],
+        )
+
+    def search(self, q: Any, k: int = 1, ef: int | None = None) -> list[tuple[int, float]]:
+        if not self._members:
+            return []
+        ef = max(int(ef) if ef is not None else self.ef_construction, k)
+        found = self._beam(q, ef=ef, entry=self._members[0])
+        return [(v, d) for d, v in found[:k]]

@@ -1,0 +1,145 @@
+"""Vamana — DiskANN's *practical* construction (Jayaram Subramanya et al.
+[19]), as opposed to the slow-preprocessing variant of
+:mod:`repro.baselines.diskann`.
+
+Where the slow variant alpha-prunes against *every* other point (the
+version Indyk & Xu proved guarantees for, at Omega(n^2) cost), Vamana
+generates each point's candidate set with a beam search over the graph
+built so far and alpha-prunes only those candidates, in two passes over
+a random insertion order, with degrees capped at ``R``.  That makes it
+near-linear in practice but forfeits the worst-case guarantee — the
+trade the paper's Theorem 1.1 shows is unnecessary (near-linear build
+*and* guarantees are simultaneously possible).
+
+Included as a baseline so benches can show all three regimes:
+guaranteed-but-quadratic (diskann slow), fast-but-unguaranteed (vamana,
+HNSW), and fast-and-guaranteed (G_net).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any
+
+import numpy as np
+
+from repro.graphs.base import ProximityGraph
+from repro.metrics.base import Dataset
+
+__all__ = ["VamanaIndex"]
+
+
+class VamanaIndex:
+    """Two-pass Vamana graph with beam-search queries.
+
+    Parameters
+    ----------
+    max_degree:
+        The degree cap ``R``.
+    beam_width:
+        Construction beam width ``L`` (candidate pool size).
+    alpha:
+        Pruning slack; the reference implementation uses 1.2 on the
+        second pass and 1.0 on the first.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        rng: np.random.Generator,
+        max_degree: int = 16,
+        beam_width: int = 48,
+        alpha: float = 1.2,
+    ):
+        if max_degree < 2:
+            raise ValueError("max_degree must be at least 2")
+        if beam_width < max_degree:
+            beam_width = max_degree
+        self.dataset = dataset
+        self.max_degree = int(max_degree)
+        self.beam_width = int(beam_width)
+        self.alpha = float(alpha)
+        n = dataset.n
+        self._adj: list[list[int]] = [[] for _ in range(n)]
+        # Medoid approximation: the point closest to the centroid of a
+        # sample — the canonical Vamana entry point.
+        sample = rng.choice(n, size=min(n, 256), replace=False)
+        coords_like = dataset.points[sample]
+        center_id = int(
+            sample[np.argmin(dataset.metric.distances(coords_like[0], coords_like))]
+        )
+        self.entry_point = center_id
+
+        order = rng.permutation(n)
+        # Pass 1 (alpha = 1), pass 2 (alpha = self.alpha), as in [19].
+        for pass_alpha in (1.0, self.alpha):
+            for pid in order:
+                self._insert(int(pid), pass_alpha)
+
+    # ------------------------------------------------------------------
+
+    def _beam(self, q: Any, ef: int) -> list[tuple[float, int]]:
+        start = self.entry_point
+        d0 = self.dataset.distance_to_query(q, start)
+        visited = {start}
+        cand = [(d0, start)]
+        best = [(-d0, start)]
+        while cand:
+            d, u = heapq.heappop(cand)
+            if len(best) >= ef and d > -best[0][0]:
+                break
+            for v in self._adj[u]:
+                if v in visited:
+                    continue
+                visited.add(v)
+                dv = self.dataset.distance_to_query(q, v)
+                if len(best) < ef or dv < -best[0][0]:
+                    heapq.heappush(cand, (dv, v))
+                    heapq.heappush(best, (-dv, v))
+                    if len(best) > ef:
+                        heapq.heappop(best)
+        return sorted((-d, v) for d, v in best)
+
+    def _robust_prune(
+        self, pid: int, candidates: list[tuple[float, int]], alpha: float
+    ) -> list[int]:
+        """The RobustPrune of [19]: keep the closest candidate, discard
+        any candidate ``v`` with ``alpha * D(kept, v) <= D(pid, v)``."""
+        pool = sorted(set((d, v) for d, v in candidates if v != pid))
+        kept: list[int] = []
+        while pool and len(kept) < self.max_degree:
+            d_best, v_best = pool.pop(0)
+            kept.append(v_best)
+            survivors = []
+            for d, v in pool:
+                if alpha * self.dataset.distance(v_best, v) > d:
+                    survivors.append((d, v))
+            pool = survivors
+        return kept
+
+    def _insert(self, pid: int, alpha: float) -> None:
+        q = self.dataset.points[pid]
+        found = self._beam(q, self.beam_width)
+        merged = found + [
+            (self.dataset.distance(pid, v), v) for v in self._adj[pid]
+        ]
+        self._adj[pid] = self._robust_prune(pid, merged, alpha)
+        for v in self._adj[pid]:
+            nbrs = self._adj[v]
+            if pid not in nbrs:
+                nbrs.append(pid)
+                if len(nbrs) > self.max_degree:
+                    pairs = [(self.dataset.distance(v, u), u) for u in nbrs]
+                    self._adj[v] = self._robust_prune(v, pairs, alpha)
+
+    # ------------------------------------------------------------------
+
+    def graph(self) -> ProximityGraph:
+        return ProximityGraph(
+            self.dataset.n,
+            [np.array(a, dtype=np.intp) for a in self._adj],
+        )
+
+    def search(self, q: Any, k: int = 1, ef: int | None = None) -> list[tuple[int, float]]:
+        ef = max(int(ef) if ef is not None else self.beam_width, k)
+        return [(v, d) for d, v in self._beam(q, ef)[:k]]

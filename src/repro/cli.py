@@ -1,0 +1,202 @@
+"""Command-line interface: build, query, validate, and inspect proximity
+graphs from the shell.
+
+    python -m repro build   points.npy graph.npz --method gnet --epsilon 0.5
+    python -m repro query   points.npy graph.npz --q 0.25 0.75
+    python -m repro stats   points.npy graph.npz
+    python -m repro validate points.npy graph.npz --queries 200
+    python -m repro builders
+
+Points files are ``.npy`` arrays of shape ``(n, d)``.  Graphs persist in
+the library's ``.npz`` CSR format next to a ``.json`` metadata sidecar
+(method, epsilon, normalization factor) so ``query``/``validate`` can
+reconstruct the exact search setting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.builders import available_builders, build
+from repro.core.stats import measure_queries, timed
+from repro.graphs.base import ProximityGraph
+from repro.graphs.greedy import greedy
+from repro.graphs.navigability import find_violations
+from repro.metrics.base import Dataset
+from repro.metrics.euclidean import EuclideanMetric
+from repro.metrics.scaling import normalize_min_distance
+from repro.workloads.queries import near_data_queries, uniform_queries
+
+__all__ = ["main"]
+
+
+def _load_points(path: str) -> np.ndarray:
+    points = np.load(Path(path))
+    if points.ndim != 2:
+        raise SystemExit(f"{path}: expected an (n, d) array, got {points.shape}")
+    return points.astype(np.float64)
+
+
+def _dataset(points: np.ndarray) -> tuple[Dataset, float]:
+    return normalize_min_distance(Dataset(EuclideanMetric(), points))
+
+
+def _sidecar(graph_path: str) -> Path:
+    return Path(graph_path).with_suffix(".json")
+
+
+def _cmd_builders(_args: argparse.Namespace) -> int:
+    for name in available_builders():
+        print(name)
+    return 0
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    points = _load_points(args.points)
+    dataset, factor = _dataset(points)
+    rng = np.random.default_rng(args.seed)
+    built, seconds = timed(
+        lambda: build(args.method, dataset, args.epsilon, rng)
+    )
+    built.graph.save(args.graph)
+    meta = {
+        "method": args.method,
+        "epsilon": args.epsilon,
+        "seed": args.seed,
+        "scale_factor": factor,
+        "guaranteed": built.guaranteed,
+        "build_seconds": round(seconds, 3),
+        **built.graph.summary(),
+    }
+    _sidecar(args.graph).write_text(json.dumps(meta, indent=2))
+    print(json.dumps(meta, indent=2))
+    return 0
+
+
+def _load_graph(points_path: str, graph_path: str):
+    points = _load_points(points_path)
+    dataset, factor = _dataset(points)
+    graph = ProximityGraph.load(graph_path)
+    if graph.n != dataset.n:
+        raise SystemExit(
+            f"graph has {graph.n} vertices but points file has {dataset.n}"
+        )
+    meta = {}
+    sidecar = _sidecar(graph_path)
+    if sidecar.exists():
+        meta = json.loads(sidecar.read_text())
+    return dataset, graph, factor, meta
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    dataset, graph, factor, meta = _load_graph(args.points, args.graph)
+    q = np.array(args.q, dtype=np.float64)
+    rng = np.random.default_rng(args.seed)
+    start = args.start if args.start is not None else int(rng.integers(graph.n))
+    result = greedy(graph, dataset, start, q)
+    print(
+        json.dumps(
+            {
+                "point_id": result.point,
+                "distance": result.distance / factor,
+                "hops": len(result.hops),
+                "distance_evals": result.distance_evals,
+                "start": start,
+                "epsilon": meta.get("epsilon"),
+            },
+            indent=2,
+        )
+    )
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    _dataset_, graph, _factor, meta = _load_graph(args.points, args.graph)
+    out = dict(graph.summary())
+    out.update({k: v for k, v in meta.items() if k not in out})
+    print(json.dumps(out, indent=2))
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    dataset, graph, _factor, meta = _load_graph(args.points, args.graph)
+    epsilon = args.epsilon if args.epsilon is not None else meta.get("epsilon")
+    if epsilon is None:
+        raise SystemExit("no epsilon on record; pass --epsilon")
+    rng = np.random.default_rng(args.seed)
+    points = np.asarray(dataset.points)
+    queries = list(uniform_queries(args.queries // 2, points, rng))
+    queries += list(near_data_queries(args.queries - len(queries), points, rng))
+    violations = find_violations(graph, dataset, queries, epsilon, stop_at=None)
+    stats = measure_queries(graph, dataset, queries, epsilon=epsilon, rng=rng)
+    print(
+        json.dumps(
+            {
+                "queries": len(queries),
+                "epsilon": epsilon,
+                "violations": len(violations),
+                "recall_at_1": stats.recall_at_1,
+                "eps_satisfied_fraction": stats.epsilon_satisfied_fraction,
+                "mean_distance_evals": round(stats.mean_distance_evals, 1),
+            },
+            indent=2,
+        )
+    )
+    return 0 if not violations else 1
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Proximity graphs for similarity search (Lu & Tao, PODS 2025)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("builders", help="list registered graph builders")
+    p.set_defaults(fn=_cmd_builders)
+
+    p = sub.add_parser("build", help="build a graph from an (n, d) .npy file")
+    p.add_argument("points")
+    p.add_argument("graph", help="output .npz path")
+    p.add_argument("--method", default="gnet", choices=available_builders())
+    p.add_argument("--epsilon", type=float, default=0.5)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_build)
+
+    p = sub.add_parser("query", help="greedy (1+eps)-ANN query")
+    p.add_argument("points")
+    p.add_argument("graph")
+    p.add_argument("--q", type=float, nargs="+", required=True)
+    p.add_argument("--start", type=int, default=None)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_query)
+
+    p = sub.add_parser("stats", help="structural statistics of a saved graph")
+    p.add_argument("points")
+    p.add_argument("graph")
+    p.set_defaults(fn=_cmd_stats)
+
+    p = sub.add_parser(
+        "validate", help="navigability check (exit 1 on violations)"
+    )
+    p.add_argument("points")
+    p.add_argument("graph")
+    p.add_argument("--epsilon", type=float, default=None)
+    p.add_argument("--queries", type=int, default=100)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_validate)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,17 @@
+"""Public API: the index facade, the builder registry, and measurement
+helpers."""
+
+from repro.core.builders import BuiltGraph, available_builders, build, register_builder
+from repro.core.index import ProximityGraphIndex
+from repro.core.stats import QueryStats, measure_queries, timed
+
+__all__ = [
+    "BuiltGraph",
+    "ProximityGraphIndex",
+    "QueryStats",
+    "available_builders",
+    "build",
+    "measure_queries",
+    "register_builder",
+    "timed",
+]

@@ -1,0 +1,241 @@
+"""Registry of graph builders behind a single uniform signature.
+
+Every construction in the library — the paper's three (G_net, theta,
+merged) and the baselines — is reachable as
+
+    ``build(name, dataset, epsilon, rng, **options) -> BuiltGraph``
+
+which is what the :class:`~repro.core.index.ProximityGraphIndex` facade
+and all benches use.  ``BuiltGraph.meta`` carries builder-specific
+artifacts (parameters, net hierarchy, jackpot mask, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.baselines.diskann import build_diskann_slow
+from repro.baselines.hnsw import HNSWIndex
+from repro.baselines.nsw import NSWIndex
+from repro.baselines.trivial import build_complete_graph, build_knn_digraph
+from repro.baselines.vamana import VamanaIndex
+from repro.graphs.base import ProximityGraph
+from repro.graphs.gnet import build_gnet
+from repro.graphs.merged import build_merged_graph
+from repro.graphs.theta import build_theta_graph, theta_for_epsilon
+from repro.metrics.base import Dataset
+
+__all__ = ["BuiltGraph", "BUILDERS", "build", "available_builders", "register_builder"]
+
+
+@dataclass
+class BuiltGraph:
+    """A constructed graph plus its provenance."""
+
+    name: str
+    graph: ProximityGraph
+    epsilon: float
+    guaranteed: bool  # does this construction carry a (1+eps)-PG proof?
+    meta: dict[str, Any] = field(default_factory=dict)
+    backend: Any = None  # native index object (HNSW/NSW) when applicable
+
+
+BuilderFn = Callable[..., BuiltGraph]
+BUILDERS: dict[str, BuilderFn] = {}
+
+
+def register_builder(name: str) -> Callable[[BuilderFn], BuilderFn]:
+    def decorate(fn: BuilderFn) -> BuilderFn:
+        if name in BUILDERS:
+            raise ValueError(f"builder {name!r} already registered")
+        BUILDERS[name] = fn
+        return fn
+
+    return decorate
+
+
+def available_builders() -> list[str]:
+    return sorted(BUILDERS)
+
+
+def build(
+    name: str,
+    dataset: Dataset,
+    epsilon: float,
+    rng: np.random.Generator | None = None,
+    **options: Any,
+) -> BuiltGraph:
+    if name not in BUILDERS:
+        raise ValueError(f"unknown builder {name!r}; have {available_builders()}")
+    return BUILDERS[name](
+        dataset=dataset,
+        epsilon=epsilon,
+        rng=rng or np.random.default_rng(0),
+        **options,
+    )
+
+
+# ----------------------------------------------------------------------
+# The paper's constructions
+# ----------------------------------------------------------------------
+
+
+@register_builder("gnet")
+def _build_gnet(
+    dataset: Dataset, epsilon: float, rng: np.random.Generator, **options: Any
+) -> BuiltGraph:
+    """Theorem 1.1: the net-hierarchy graph (any doubling metric)."""
+    result = build_gnet(dataset, epsilon, **options)
+    return BuiltGraph(
+        name="gnet",
+        graph=result.graph,
+        epsilon=epsilon,
+        guaranteed=True,
+        meta={
+            "params": result.params,
+            "hierarchy": result.hierarchy,
+            "level_sizes": result.level_sizes,
+            "level_edge_counts": result.level_edge_counts,
+        },
+    )
+
+
+@register_builder("theta")
+def _build_theta(
+    dataset: Dataset, epsilon: float, rng: np.random.Generator, **options: Any
+) -> BuiltGraph:
+    """Lemma 5.1: the (eps/32)-graph (Euclidean; small but maybe slow)."""
+    theta = options.pop("theta", theta_for_epsilon(epsilon))
+    result = build_theta_graph(dataset, theta, **options)
+    guaranteed = theta <= theta_for_epsilon(epsilon) + 1e-15
+    return BuiltGraph(
+        name="theta",
+        graph=result.graph,
+        epsilon=epsilon,
+        guaranteed=guaranteed,
+        meta={"theta": result.theta, "cones": result.cones},
+    )
+
+
+@register_builder("merged")
+def _build_merged(
+    dataset: Dataset, epsilon: float, rng: np.random.Generator, **options: Any
+) -> BuiltGraph:
+    """Theorem 1.3: jackpot-sampled G_net merged with the theta-graph."""
+    result = build_merged_graph(dataset, epsilon, rng, **options)
+    return BuiltGraph(
+        name="merged",
+        graph=result.graph,
+        epsilon=epsilon,
+        guaranteed=True,
+        meta={
+            "tau": result.tau,
+            "jackpot": result.jackpot,
+            "params": result.params,
+            "runs_edge_counts": result.runs_edge_counts,
+            "gnet_edges": result.gnet.graph.num_edges,
+            "theta_edges": result.geo.graph.num_edges,
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# Baselines
+# ----------------------------------------------------------------------
+
+
+@register_builder("diskann")
+def _build_diskann(
+    dataset: Dataset, epsilon: float, rng: np.random.Generator, **options: Any
+) -> BuiltGraph:
+    """Indyk-Xu slow-preprocessing DiskANN (guaranteed, Omega(n^2) build)."""
+    result = build_diskann_slow(dataset, epsilon=epsilon, **options)
+    guaranteed = options.get("max_degree") is None
+    return BuiltGraph(
+        name="diskann",
+        graph=result.graph,
+        epsilon=epsilon,
+        guaranteed=guaranteed,
+        meta={"alpha": result.alpha, "guarantee": result.guarantee},
+    )
+
+
+@register_builder("hnsw")
+def _build_hnsw(
+    dataset: Dataset, epsilon: float, rng: np.random.Generator, **options: Any
+) -> BuiltGraph:
+    """HNSW (no guarantee; the empirical champion)."""
+    index = HNSWIndex(dataset, rng, **options)
+    return BuiltGraph(
+        name="hnsw",
+        graph=index.base_layer_graph(),
+        epsilon=epsilon,
+        guaranteed=False,
+        meta={"m": index.m, "max_level": index.max_level},
+        backend=index,
+    )
+
+
+@register_builder("nsw")
+def _build_nsw(
+    dataset: Dataset, epsilon: float, rng: np.random.Generator, **options: Any
+) -> BuiltGraph:
+    """Flat NSW (no guarantee)."""
+    index = NSWIndex(dataset, rng, **options)
+    return BuiltGraph(
+        name="nsw",
+        graph=index.graph(),
+        epsilon=epsilon,
+        guaranteed=False,
+        meta={"m": index.m},
+        backend=index,
+    )
+
+
+@register_builder("vamana")
+def _build_vamana(
+    dataset: Dataset, epsilon: float, rng: np.random.Generator, **options: Any
+) -> BuiltGraph:
+    """Practical DiskANN (Vamana [19]): fast build, degree-capped, no
+    worst-case guarantee — the regime Theorem 1.1 renders unnecessary."""
+    index = VamanaIndex(dataset, rng, **options)
+    return BuiltGraph(
+        name="vamana",
+        graph=index.graph(),
+        epsilon=epsilon,
+        guaranteed=False,
+        meta={"max_degree": index.max_degree, "alpha": index.alpha},
+        backend=index,
+    )
+
+
+@register_builder("knn")
+def _build_knn(
+    dataset: Dataset, epsilon: float, rng: np.random.Generator, **options: Any
+) -> BuiltGraph:
+    """k-NN digraph (negative control: not navigable in general)."""
+    k = options.pop("k", 8)
+    return BuiltGraph(
+        name="knn",
+        graph=build_knn_digraph(dataset, k=k),
+        epsilon=epsilon,
+        guaranteed=False,
+        meta={"k": k},
+    )
+
+
+@register_builder("complete")
+def _build_complete(
+    dataset: Dataset, epsilon: float, rng: np.random.Generator, **options: Any
+) -> BuiltGraph:
+    """Complete digraph (a PG for every eps; Theta(n^2) edges)."""
+    return BuiltGraph(
+        name="complete",
+        graph=build_complete_graph(dataset),
+        epsilon=epsilon,
+        guaranteed=True,
+        meta={},
+    )

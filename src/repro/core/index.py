@@ -1,0 +1,193 @@
+"""``ProximityGraphIndex`` — the library's front door.
+
+Wraps the whole pipeline a user needs for (1+eps)-ANN search:
+
+1. wrap raw points + metric into a dataset,
+2. normalize so the minimum inter-point distance is 2 (Section 2.1's
+   convention; a pure rescaling, undone transparently on output),
+3. build a proximity graph with any registered builder,
+4. answer queries with the paper's greedy routine (optionally budgeted,
+   optionally beam-widened), reporting distances in *original* units.
+
+Example
+-------
+>>> import numpy as np
+>>> from repro import ProximityGraphIndex
+>>> rng = np.random.default_rng(7)
+>>> points = rng.uniform(size=(500, 2))
+>>> index = ProximityGraphIndex.build(points, epsilon=0.5, method="gnet")
+>>> nn_id, dist = index.query(np.array([0.5, 0.5]))
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.core.builders import BuiltGraph, build
+from repro.core.stats import QueryStats, measure_queries
+from repro.graphs.base import ProximityGraph
+from repro.graphs.greedy import beam_search, greedy
+from repro.graphs.navigability import NavigabilityViolation, find_violations
+from repro.metrics.base import Dataset, MetricSpace
+from repro.metrics.euclidean import EuclideanMetric
+from repro.metrics.scaling import normalize_min_distance
+
+__all__ = ["ProximityGraphIndex"]
+
+
+class ProximityGraphIndex:
+    """A built proximity-graph ANN index.
+
+    Use :meth:`build` rather than the constructor.  Attributes of note:
+    ``graph`` (the underlying :class:`ProximityGraph`), ``dataset`` (the
+    normalized dataset), ``built`` (builder provenance, including
+    theoretical parameters in ``built.meta``), and ``scale`` (the
+    normalization factor; reported distances are already divided back).
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        built: BuiltGraph,
+        scale: float,
+        rng: np.random.Generator,
+    ):
+        self.dataset = dataset
+        self.built = built
+        self.scale = scale
+        self._rng = rng
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        points: Any,
+        epsilon: float = 0.5,
+        method: str = "gnet",
+        metric: MetricSpace | None = None,
+        normalize: bool = True,
+        seed: int = 0,
+        **options: Any,
+    ) -> "ProximityGraphIndex":
+        """Build an index over raw points.
+
+        Parameters
+        ----------
+        points:
+            ``(n, d)`` float array for Euclidean metrics, or whatever the
+            supplied ``metric`` understands (ids for abstract metrics).
+        epsilon:
+            The target approximation: queries return (1+eps)-ANNs
+            (guaranteed for ``method`` in {"gnet", "theta", "merged",
+            "diskann", "complete"}).
+        method:
+            Any registered builder; see
+            :func:`repro.core.builders.available_builders`.
+        normalize:
+            Rescale so the minimum inter-point distance is 2 (required by
+            the paper's constructions; disable only if the input already
+            satisfies it).
+        """
+        rng = np.random.default_rng(seed)
+        if metric is None:
+            points = np.asarray(points, dtype=np.float64)
+            metric = EuclideanMetric()
+        dataset = Dataset(metric, points)
+        scale = 1.0
+        if normalize:
+            dataset, scale = normalize_min_distance(dataset)
+        built = build(method, dataset, epsilon, rng, **options)
+        return cls(dataset=dataset, built=built, scale=scale, rng=rng)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def graph(self) -> ProximityGraph:
+        return self.built.graph
+
+    @property
+    def epsilon(self) -> float:
+        return self.built.epsilon
+
+    @property
+    def n(self) -> int:
+        return self.dataset.n
+
+    def _to_original(self, distance: float) -> float:
+        return distance / self.scale
+
+    # ------------------------------------------------------------------
+
+    def query(
+        self,
+        q: Any,
+        p_start: int | None = None,
+        budget: int | None = None,
+    ) -> tuple[int, float]:
+        """Greedy (1+eps)-ANN query; returns ``(point_id, distance)`` in
+        original distance units.  ``p_start`` defaults to a random vertex
+        (any choice is valid — Section 1.1)."""
+        start = int(p_start) if p_start is not None else int(self._rng.integers(self.n))
+        result = greedy(self.graph, self.dataset, start, q, budget=budget)
+        return result.point, self._to_original(result.distance)
+
+    def query_k(
+        self,
+        q: Any,
+        k: int,
+        beam_width: int | None = None,
+        p_start: int | None = None,
+    ) -> list[tuple[int, float]]:
+        """Top-``k`` search via beam search (practical extension)."""
+        start = int(p_start) if p_start is not None else int(self._rng.integers(self.n))
+        width = beam_width if beam_width is not None else max(2 * k, 16)
+        found, _evals = beam_search(
+            self.graph, self.dataset, start, q, beam_width=width, k=k
+        )
+        return [(pid, self._to_original(d)) for pid, d in found]
+
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Structural summary plus theory-side context when available."""
+        out = dict(self.built.graph.summary())
+        out["builder"] = self.built.name
+        out["epsilon"] = self.epsilon
+        out["guaranteed"] = self.built.guaranteed
+        params = self.built.meta.get("params")
+        if params is not None:
+            out["h"] = params.height
+            out["phi"] = params.phi
+            out["log2_aspect_ratio"] = params.height - 1
+        out["edges_per_point"] = out["edges"] / max(out["n"], 1)
+        out["log2_n"] = round(math.log2(max(out["n"], 2)), 2)
+        return out
+
+    def validate(
+        self, queries: Sequence[Any], stop_at: int | None = 1
+    ) -> list[NavigabilityViolation]:
+        """Check (1+eps)-navigability (Fact 2.1) over a query batch."""
+        return find_violations(
+            self.graph, self.dataset, queries, self.epsilon, stop_at=stop_at
+        )
+
+    def measure(
+        self,
+        queries: Sequence[Any],
+        budget: int | None = None,
+        starts: Sequence[int] | None = None,
+    ) -> QueryStats:
+        """Cost/quality statistics of greedy over a query batch."""
+        return measure_queries(
+            self.graph,
+            self.dataset,
+            queries,
+            epsilon=self.epsilon,
+            starts=starts,
+            budget=budget,
+            rng=self._rng,
+        )

@@ -1,0 +1,120 @@
+"""Measurement helpers shared by benches, examples, and tests.
+
+The paper's cost model is explicit: *space* is the edge count, *query
+time* is the number of distance evaluations of greedy, *construction
+time* is wall time of the builder.  :func:`measure_queries` runs greedy
+over a query batch and reports exactly those quantities plus solution
+quality against the exact (linear-scan) nearest neighbor.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.graphs.base import ProximityGraph
+from repro.graphs.greedy import greedy
+from repro.metrics.base import Dataset
+
+__all__ = ["QueryStats", "measure_queries", "timed"]
+
+
+@dataclass
+class QueryStats:
+    """Aggregated greedy-search statistics over a query batch."""
+
+    num_queries: int
+    mean_distance_evals: float
+    max_distance_evals: int
+    mean_hops: float
+    max_hops: int
+    mean_approximation: float
+    max_approximation: float
+    recall_at_1: float
+    epsilon_satisfied_fraction: float
+    per_query: list[dict] = field(default_factory=list, repr=False)
+
+    def table_row(self) -> dict:
+        return {
+            "queries": self.num_queries,
+            "evals_mean": round(self.mean_distance_evals, 1),
+            "evals_max": self.max_distance_evals,
+            "hops_mean": round(self.mean_hops, 2),
+            "hops_max": self.max_hops,
+            "approx_mean": round(self.mean_approximation, 4),
+            "approx_max": round(self.max_approximation, 4),
+            "recall@1": round(self.recall_at_1, 4),
+        }
+
+
+def measure_queries(
+    graph: ProximityGraph,
+    dataset: Dataset,
+    queries: Sequence[Any],
+    epsilon: float,
+    starts: Sequence[int] | None = None,
+    budget: int | None = None,
+    rng: np.random.Generator | None = None,
+    keep_per_query: bool = False,
+) -> QueryStats:
+    """Run greedy for each query and aggregate cost/quality.
+
+    ``starts`` supplies one start vertex per query; by default they are
+    drawn uniformly (the paper allows *any* start, and the flexibility of
+    choosing ``p_start`` is called out as a strength of the paradigm).
+    The approximation ratio compares greedy's answer to the exact NN from
+    a linear scan; queries whose NN distance is 0 count as satisfied only
+    on exact hits.
+    """
+    m = len(queries)
+    if starts is None:
+        gen = rng or np.random.default_rng(0)
+        starts = gen.integers(graph.n, size=m)
+
+    evals, hops, ratios, hits, ok = [], [], [], [], []
+    per_query: list[dict] = []
+    for q, start in zip(queries, starts):
+        result = greedy(graph, dataset, int(start), q, budget=budget)
+        nn_id, nn_dist = dataset.nearest_neighbor(q)
+        if nn_dist == 0.0:
+            ratio = 1.0 if result.distance == 0.0 else float("inf")
+        else:
+            ratio = result.distance / nn_dist
+        evals.append(result.distance_evals)
+        hops.append(len(result.hops))
+        ratios.append(ratio)
+        hits.append(result.distance <= nn_dist * (1.0 + 1e-12))
+        ok.append(ratio <= 1.0 + epsilon + 1e-9)
+        if keep_per_query:
+            per_query.append(
+                {
+                    "start": int(start),
+                    "evals": result.distance_evals,
+                    "hops": len(result.hops),
+                    "ratio": ratio,
+                    "returned": result.point,
+                    "nn": nn_id,
+                }
+            )
+    return QueryStats(
+        num_queries=m,
+        mean_distance_evals=float(np.mean(evals)),
+        max_distance_evals=int(np.max(evals)),
+        mean_hops=float(np.mean(hops)),
+        max_hops=int(np.max(hops)),
+        mean_approximation=float(np.mean(ratios)),
+        max_approximation=float(np.max(ratios)),
+        recall_at_1=float(np.mean(hits)),
+        epsilon_satisfied_fraction=float(np.mean(ok)),
+        per_query=per_query,
+    )
+
+
+def timed(fn: Callable[[], Any]) -> tuple[Any, float]:
+    """Run ``fn`` and return ``(result, seconds)``."""
+    t0 = time.perf_counter()
+    out = fn()
+    return out, time.perf_counter() - t0

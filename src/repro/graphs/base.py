@@ -1,0 +1,183 @@
+"""Directed proximity-graph container.
+
+A proximity graph in the paper is a simple directed graph whose vertices
+correspond one-to-one to the data points of ``P`` (Section 1.1).  The
+container stores out-adjacency as one sorted ``numpy`` id array per
+vertex, which is what the greedy search consumes (one batched distance
+evaluation per hop).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Iterator
+
+import numpy as np
+
+__all__ = ["ProximityGraph"]
+
+
+class ProximityGraph:
+    """Out-adjacency of a simple directed graph on vertices ``0..n-1``.
+
+    Self-loops are rejected (they can never help ``greedy``: a self-loop
+    target is never strictly closer to the query) and parallel edges are
+    collapsed.
+    """
+
+    def __init__(self, n: int, out_neighbors: Iterable[np.ndarray] | None = None):
+        if n < 1:
+            raise ValueError("graph needs at least one vertex")
+        self.n = int(n)
+        if out_neighbors is None:
+            self._adj: list[np.ndarray] = [
+                np.empty(0, dtype=np.intp) for _ in range(self.n)
+            ]
+        else:
+            self._adj = [self._clean(u, nbrs) for u, nbrs in enumerate(out_neighbors)]
+            if len(self._adj) != self.n:
+                raise ValueError("out_neighbors length must equal n")
+
+    def _clean(self, u: int, nbrs) -> np.ndarray:
+        arr = np.unique(np.asarray(nbrs, dtype=np.intp))
+        if len(arr) and (arr.min() < 0 or arr.max() >= self.n):
+            raise ValueError(f"vertex {u}: neighbor id out of range")
+        return arr[arr != u]
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_edge_list(cls, n: int, edges: Iterable[tuple[int, int]]) -> "ProximityGraph":
+        """Build from ``(u, v)`` pairs (duplicates and self-loops dropped)."""
+        buckets: list[list[int]] = [[] for _ in range(n)]
+        for u, v in edges:
+            buckets[int(u)].append(int(v))
+        return cls(n, [np.array(b, dtype=np.intp) for b in buckets])
+
+    @classmethod
+    def from_sets(cls, n: int, sets: list[set[int]]) -> "ProximityGraph":
+        return cls(n, [np.fromiter(s, dtype=np.intp, count=len(s)) for s in sets])
+
+    # ------------------------------------------------------------------
+
+    def out_neighbors(self, u: int) -> np.ndarray:
+        return self._adj[u]
+
+    def set_out_neighbors(self, u: int, nbrs) -> None:
+        self._adj[u] = self._clean(u, nbrs)
+
+    def add_edges(self, u: int, nbrs) -> None:
+        self._adj[u] = self._clean(
+            u, np.concatenate([self._adj[u], np.asarray(nbrs, dtype=np.intp)])
+        )
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return bool(np.isin(int(v), self._adj[int(u)]).item())
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        for u in range(self.n):
+            for v in self._adj[u]:
+                yield u, int(v)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def num_edges(self) -> int:
+        return int(sum(len(a) for a in self._adj))
+
+    def out_degrees(self) -> np.ndarray:
+        return np.array([len(a) for a in self._adj], dtype=np.intp)
+
+    def max_out_degree(self) -> int:
+        return int(self.out_degrees().max())
+
+    def mean_out_degree(self) -> float:
+        return float(self.out_degrees().mean())
+
+    def min_out_degree(self) -> int:
+        return int(self.out_degrees().min())
+
+    # ------------------------------------------------------------------
+
+    def merge(self, other: "ProximityGraph") -> "ProximityGraph":
+        """Edge-union with another graph on the same vertex set — the
+        merging operation of Section 5.2 (out-edge set of each point is
+        the union of those in the two graphs)."""
+        if other.n != self.n:
+            raise ValueError("cannot merge graphs with different vertex counts")
+        merged = [
+            np.union1d(self._adj[u], other._adj[u]) if len(other._adj[u]) else self._adj[u]
+            for u in range(self.n)
+        ]
+        return ProximityGraph(self.n, merged)
+
+    def subgraph_of_sources(self, sources: np.ndarray) -> "ProximityGraph":
+        """Keep only out-edges of the given source vertices (all vertices
+        remain) — the vertex-sampling step of Section 5."""
+        keep = np.zeros(self.n, dtype=bool)
+        keep[np.asarray(sources, dtype=np.intp)] = True
+        pruned = [
+            self._adj[u] if keep[u] else np.empty(0, dtype=np.intp)
+            for u in range(self.n)
+        ]
+        return ProximityGraph(self.n, pruned)
+
+    def copy(self) -> "ProximityGraph":
+        return ProximityGraph(self.n, [a.copy() for a in self._adj])
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ProximityGraph):
+            return NotImplemented
+        return self.n == other.n and all(
+            np.array_equal(a, b) for a, b in zip(self._adj, other._adj)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"ProximityGraph(n={self.n}, edges={self.num_edges})"
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        """Serialize to ``.npz`` (CSR-style offsets + targets)."""
+        offsets = np.zeros(self.n + 1, dtype=np.int64)
+        for u in range(self.n):
+            offsets[u + 1] = offsets[u] + len(self._adj[u])
+        targets = (
+            np.concatenate(self._adj)
+            if self.num_edges
+            else np.empty(0, dtype=np.intp)
+        )
+        np.savez_compressed(
+            Path(path), n=np.int64(self.n), offsets=offsets, targets=targets
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ProximityGraph":
+        data = np.load(Path(path))
+        n = int(data["n"])
+        offsets, targets = data["offsets"], data["targets"]
+        adj = [
+            targets[offsets[u] : offsets[u + 1]].astype(np.intp) for u in range(n)
+        ]
+        return cls(n, adj)
+
+    def degree_histogram(self) -> dict[int, int]:
+        values, counts = np.unique(self.out_degrees(), return_counts=True)
+        return {int(v): int(c) for v, c in zip(values, counts)}
+
+    def summary(self) -> dict:
+        """Small JSON-friendly stats block used by benches and examples."""
+        deg = self.out_degrees()
+        return {
+            "n": self.n,
+            "edges": self.num_edges,
+            "min_out_degree": int(deg.min()),
+            "mean_out_degree": float(deg.mean()),
+            "max_out_degree": int(deg.max()),
+        }
+
+    def summary_json(self) -> str:
+        return json.dumps(self.summary(), indent=2)

@@ -1,0 +1,256 @@
+"""G_net — the fast-construction proximity graph of Theorem 1.1 (Section 2).
+
+Definition (Section 2.1).  After normalizing ``P`` so its smallest
+inter-point distance is 2, fix
+
+* ``h   = ceil(log2 diam(P))``                       (equation (1)),
+* ``Y_i = a 2^i-net of P`` for ``i in [0, h]``        (equation (2)),
+* ``eta = ceil(log2(1 + 2/eps))``                     (equation (3)),
+* ``phi = 1 + 2^(eta+1)``                             (equation (4)),
+
+and give every point ``p`` an out-edge to **every** ``y in Y_i`` with
+``D(p, y) <= phi * 2^i``, for every level ``i``.
+
+Properties proved in the paper and checked by our tests:
+
+* G_net is (1+eps)-navigable, hence a (1+eps)-PG (Lemma 2.2 + Fact 2.1);
+* every out-degree is at least 1 (Proposition 2.1);
+* out-degrees are ``O(phi^lambda * log Delta)`` (via Fact 2.3), giving
+  ``O((1/eps)^lambda * n log Delta)`` edges;
+* greedy reaches a (1+eps)-ANN within ``h`` hops (the log-drop property,
+  Lemma 2.2(2)), giving ``O((1/eps)^lambda * log^2 Delta)`` query time.
+
+Three interchangeable build strategies produce the identical edge set:
+
+* ``"vectorized"`` — per level, batched distance rows against ``Y_i``
+  (the correctness reference; works for every metric);
+* ``"paper"`` — the Section 2.4 loop verbatim: a dynamic ANN structure
+  per level, repeated 2-ANN extraction with deletions until the paper's
+  ``2 * phi * 2^i`` stopping rule fires, then re-insertion;
+* ``"grid"`` — per level, hash-grid range queries (coordinate metrics
+  only; the output-sensitive fast path).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.anns.base import DynamicANN
+from repro.anns.cover_tree import CoverTree
+from repro.anns.grid import GridANN
+from repro.graphs.base import ProximityGraph
+from repro.metrics.base import Dataset
+from repro.nets.hierarchy import NetHierarchy
+
+__all__ = ["GNetParameters", "GNetBuildResult", "gnet_parameters", "build_gnet"]
+
+
+@dataclass(frozen=True)
+class GNetParameters:
+    """The derived constants of Section 2.1."""
+
+    epsilon: float
+    height: int  # h
+    eta: int
+    phi: float
+
+    def level_radius(self, i: int) -> float:
+        """The edge threshold ``phi * 2^i`` at level ``i``."""
+        return self.phi * float(2**i)
+
+    def per_level_degree_bound(self, doubling_dimension: float) -> float:
+        """Fact 2.3 bound on out-edges per level: the level-``i``
+        out-neighborhood has aspect ratio at most ``2 * phi``, hence at
+        most ``(8 * 2 * phi)^lambda`` points."""
+        return (16.0 * self.phi) ** doubling_dimension
+
+    def out_degree_bound(self, doubling_dimension: float) -> float:
+        """Explicit out-degree bound: per-level bound times ``h + 1``."""
+        return (self.height + 1) * self.per_level_degree_bound(doubling_dimension)
+
+    def hop_bound(self) -> int:
+        """Lemma 2.2's log-drop gives a (1+eps)-ANN within ``h`` non-ANN
+        hops; allow one more for the landing vertex."""
+        return self.height + 1
+
+    def query_budget(self, doubling_dimension: float) -> int:
+        """A distance-evaluation budget sufficient for the Section 2.3
+        argument: (hop bound) * (out-degree bound) + 1 for the start."""
+        return int(self.hop_bound() * self.out_degree_bound(doubling_dimension)) + 1
+
+
+def gnet_parameters(epsilon: float, diameter: float) -> GNetParameters:
+    """Compute ``(h, eta, phi)`` from ``eps`` and (an upper bound on) the
+    diameter of the normalized input."""
+    if not 0 < epsilon <= 1:
+        raise ValueError("epsilon must be in (0, 1]")
+    if diameter < 2:
+        raise ValueError("normalized diameter must be at least 2")
+    height = max(1, math.ceil(math.log2(diameter)))
+    eta = math.ceil(math.log2(1.0 + 2.0 / epsilon))
+    phi = 1.0 + float(2 ** (eta + 1))
+    return GNetParameters(epsilon=epsilon, height=height, eta=eta, phi=phi)
+
+
+@dataclass
+class GNetBuildResult:
+    """Output of :func:`build_gnet`: the graph plus build artifacts."""
+
+    graph: ProximityGraph
+    params: GNetParameters
+    hierarchy: NetHierarchy
+    level_sizes: list[int] = field(default_factory=list)
+    level_edge_counts: list[int] = field(default_factory=list)
+
+
+def build_gnet(
+    dataset: Dataset,
+    epsilon: float,
+    method: str = "auto",
+    hierarchy: NetHierarchy | None = None,
+    diameter: float | None = None,
+    ann_factory: Callable[[Dataset, np.ndarray], DynamicANN] | None = None,
+) -> GNetBuildResult:
+    """Build G_net for a dataset normalized to minimum inter-point
+    distance 2 (see :func:`repro.metrics.scaling.normalize_min_distance`).
+
+    Parameters
+    ----------
+    method:
+        ``"vectorized"``, ``"paper"``, ``"grid"``, or ``"auto"`` (grid for
+        2-D coordinate arrays, vectorized otherwise).
+    diameter:
+        Upper bound on ``diam(P)`` within a factor 2 (the Section 2.4
+        remark's ``d_max_hat``).  Defaults to twice the eccentricity of
+        the hierarchy's start point, which satisfies that contract.
+    ann_factory:
+        For ``method="paper"``: builds the dynamic ANN structure over a
+        net level; defaults to :class:`~repro.anns.cover_tree.CoverTree`.
+    """
+    if hierarchy is None:
+        hierarchy = NetHierarchy(dataset, height=None)
+    if diameter is None:
+        diameter = 2.0 * hierarchy.max_insertion_distance
+    params = gnet_parameters(epsilon, diameter)
+    if params.height > hierarchy.height:
+        hierarchy = NetHierarchy(dataset, height=params.height)
+
+    if method == "auto":
+        points = np.asarray(dataset.points)
+        method = (
+            "grid"
+            if points.ndim == 2 and np.issubdtype(points.dtype, np.floating)
+            else "vectorized"
+        )
+
+    out_sets: list[set[int]] = [set() for _ in range(dataset.n)]
+    level_sizes: list[int] = []
+    level_edge_counts: list[int] = []
+    for i in range(params.height + 1):
+        level_ids = hierarchy.level(i)
+        level_sizes.append(len(level_ids))
+        radius = params.level_radius(i)
+        if method == "vectorized":
+            added = _level_edges_vectorized(dataset, level_ids, radius, out_sets)
+        elif method == "grid":
+            added = _level_edges_grid(dataset, level_ids, radius, out_sets)
+        elif method == "paper":
+            factory = ann_factory or (
+                lambda ds, ids: CoverTree(ds, point_ids=ids)
+            )
+            added = _level_edges_paper(dataset, level_ids, radius, out_sets, factory)
+        else:
+            raise ValueError(f"unknown build method {method!r}")
+        level_edge_counts.append(added)
+
+    graph = ProximityGraph.from_sets(dataset.n, out_sets)
+    return GNetBuildResult(
+        graph=graph,
+        params=params,
+        hierarchy=hierarchy,
+        level_sizes=level_sizes,
+        level_edge_counts=level_edge_counts,
+    )
+
+
+def _level_edges_vectorized(
+    dataset: Dataset,
+    level_ids: np.ndarray,
+    radius: float,
+    out_sets: list[set[int]],
+) -> int:
+    """Reference path: one batched distance row per point against Y_i."""
+    added = 0
+    for p in range(dataset.n):
+        dists = dataset.distances_from_index(p, level_ids)
+        close = level_ids[dists <= radius]
+        for y in close:
+            y = int(y)
+            if y != p and y not in out_sets[p]:
+                out_sets[p].add(y)
+                added += 1
+    return added
+
+
+def _level_edges_grid(
+    dataset: Dataset,
+    level_ids: np.ndarray,
+    radius: float,
+    out_sets: list[set[int]],
+) -> int:
+    """Fast path for coordinate data: hash-grid range queries.
+
+    The grid cell width equals the query radius, so a range query probes
+    at most ``3^d`` cells; by the net's separation each cell holds
+    ``O(phi^d)`` points (Fact 2.3), keeping the per-query work
+    output-sensitive.
+    """
+    grid = GridANN(dataset, cell_size=radius, point_ids=level_ids)
+    added = 0
+    for p in range(dataset.n):
+        for y, _dist in grid.range_search(dataset.points[p], radius):
+            if y != p and y not in out_sets[p]:
+                out_sets[p].add(y)
+                added += 1
+    return added
+
+
+def _level_edges_paper(
+    dataset: Dataset,
+    level_ids: np.ndarray,
+    radius: float,
+    out_sets: list[set[int]],
+    ann_factory: Callable[[Dataset, np.ndarray], DynamicANN],
+) -> int:
+    """The Section 2.4 retrieval loop, verbatim.
+
+    ``radius`` is ``phi * 2^i``.  For each ``p``: repeatedly take a 2-ANN
+    ``y`` of ``p`` from ``T``, record the edge if ``D(p, y) <= radius``,
+    delete ``y``, and stop once ``D(p, y) > 2 * radius`` for the first
+    time; finally re-insert everything deleted.  Correctness of the stop
+    rule is the paper's argument: were some ``y'`` with
+    ``D(p, y') <= radius`` still stored, ``y_last`` could not have been a
+    2-ANN of ``p`` because ``2 * D(p, y') <= 2 * radius < D(p, y_last)``.
+    """
+    structure = ann_factory(dataset, level_ids)
+    added = 0
+    for p in range(dataset.n):
+        deleted: list[int] = []
+        while len(structure) > 0:
+            found = structure.nearest(dataset.points[p])
+            if found is None:
+                break
+            y, dist = found
+            structure.delete(y)
+            deleted.append(y)
+            if dist > 2.0 * radius:
+                break
+            if dist <= radius and y != p and y not in out_sets[p]:
+                out_sets[p].add(y)
+                added += 1
+        structure.insert_many(deleted)
+    return added

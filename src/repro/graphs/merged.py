@@ -1,0 +1,142 @@
+"""The merged Euclidean proximity graph of Theorem 1.3 (Section 5).
+
+Recipe (Sections 5.2-5.3):
+
+1. Build ``G_net`` by the Theorem 1.1 construction.
+2. Sample each vertex independently with probability ``tau = z / log2(Delta)``
+   ("jackpot" vertices); keep only the out-edges of sampled vertices —
+   this is ``G'_net`` with ``O((1/eps)^lambda * n)`` expected edges.
+3. Build ``G_geo``, an ``(eps/32)``-graph (Lemma 5.1: a (1+eps)-PG with
+   ``O((1/eps)^(d-1) * n)`` edges).
+4. Merge: each vertex's out-edges are the union of those in ``G'_net``
+   and ``G_geo``.
+
+Navigability of the merge is inherited from ``G_geo`` alone; the jackpot
+edges restore *speed*: under the jackpot condition (every long greedy
+stretch on ``G_geo`` meets a jackpot vertex within ``ceil(ln n * log Delta)``
+hops, which holds w.h.p.), greedy on the merge needs only
+``O(log Delta)`` jackpot hops (the log-drop property applies at each) and
+``O(log n * log^2 Delta)`` non-jackpot hops.
+
+5. To get the size bound w.h.p. rather than in expectation, repeat the
+   sampling ``O(log n)`` times and keep the smallest graph (Section 5.3).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graphs.base import ProximityGraph
+from repro.graphs.gnet import GNetBuildResult, GNetParameters, build_gnet
+from repro.graphs.theta import ThetaBuildResult, build_theta_graph, theta_for_epsilon
+from repro.metrics.base import Dataset
+
+__all__ = ["MergedBuildResult", "build_merged_graph", "jackpot_rate"]
+
+
+def jackpot_rate(z: float, aspect_ratio: float) -> float:
+    """The sampling probability ``tau = z / log2(Delta)`` of equation (17),
+    capped at 1 (small inputs can have ``log2(Delta) <= z``)."""
+    if z <= 0:
+        raise ValueError("z must be positive")
+    if aspect_ratio < 1:
+        raise ValueError("aspect ratio is at least 1")
+    log_delta = math.log2(max(aspect_ratio, 2.0))
+    return min(1.0, z / log_delta)
+
+
+@dataclass
+class MergedBuildResult:
+    """Output of :func:`build_merged_graph`.
+
+    ``graph`` is the merge; ``jackpot`` is the boolean vertex-sampling
+    mask of the kept run; ``runs_edge_counts`` records every run's edge
+    count (the paper keeps the smallest).
+    """
+
+    graph: ProximityGraph
+    gnet: GNetBuildResult
+    geo: ThetaBuildResult
+    jackpot: np.ndarray
+    tau: float
+    runs_edge_counts: list[int]
+
+    @property
+    def params(self) -> GNetParameters:
+        return self.gnet.params
+
+    def query_budget(self, doubling_dimension: float) -> int:
+        """Distance budget matching Section 5.2's analysis:
+        ``O(log Delta)`` jackpot hops at G_net degree plus
+        ``O(log n * log^2 Delta)`` theta-degree hops."""
+        h = self.params.height
+        n = self.gnet.graph.n
+        jackpot_hops = h + 2
+        nonjackpot_hops = (math.ceil(math.log(max(n, 2)) * h) + 1) * (h + 2)
+        gnet_degree = self.params.out_degree_bound(doubling_dimension)
+        theta_degree = max(self.geo.graph.max_out_degree(), 1)
+        return int(jackpot_hops * gnet_degree + nonjackpot_hops * theta_degree) + 1
+
+
+def build_merged_graph(
+    dataset: Dataset,
+    epsilon: float,
+    rng: np.random.Generator,
+    z: float = 3.0,
+    runs: int | None = None,
+    gnet: GNetBuildResult | None = None,
+    geo: ThetaBuildResult | None = None,
+    gnet_method: str = "auto",
+    theta_method: str = "auto",
+    theta: float | None = None,
+) -> MergedBuildResult:
+    """Build the Theorem 1.3 graph for a Euclidean dataset normalized to
+    minimum inter-point distance 2.
+
+    Parameters
+    ----------
+    z:
+        The constant of equation (17); larger drives the failure
+        probability of the jackpot condition down as ``1/n^(z-1)``.
+    runs:
+        Number of independent sampling rounds (smallest graph kept);
+        defaults to ``ceil(log2 n)`` per Section 5.3.
+    theta:
+        Cone angle for ``G_geo``; defaults to Lemma 5.1's ``eps/32``.
+    """
+    if gnet is None:
+        gnet = build_gnet(dataset, epsilon, method=gnet_method)
+    if geo is None:
+        geo = build_theta_graph(
+            dataset, theta if theta is not None else theta_for_epsilon(epsilon),
+            method=theta_method,
+        )
+    n = dataset.n
+    aspect_ratio = max(2.0 ** gnet.params.height / 2.0, 2.0)
+    tau = jackpot_rate(z, aspect_ratio)
+    if runs is None:
+        runs = max(1, math.ceil(math.log2(max(n, 2))))
+
+    best_graph: ProximityGraph | None = None
+    best_jackpot: np.ndarray | None = None
+    runs_edge_counts: list[int] = []
+    for _ in range(runs):
+        mask = rng.random(n) < tau
+        sampled = gnet.graph.subgraph_of_sources(np.flatnonzero(mask))
+        candidate = sampled.merge(geo.graph)
+        runs_edge_counts.append(candidate.num_edges)
+        if best_graph is None or candidate.num_edges < best_graph.num_edges:
+            best_graph, best_jackpot = candidate, mask
+
+    assert best_graph is not None and best_jackpot is not None
+    return MergedBuildResult(
+        graph=best_graph,
+        gnet=gnet,
+        geo=geo,
+        jackpot=best_jackpot,
+        tau=tau,
+        runs_edge_counts=runs_edge_counts,
+    )

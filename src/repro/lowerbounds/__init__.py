@@ -1,0 +1,20 @@
+"""Hard instances and executable adversaries for the Theorem 1.2 lower
+bounds (Sections 3 and 4)."""
+
+from repro.lowerbounds.adversary import (
+    AdversaryCertificate,
+    attack_block_graph,
+    attack_tree_graph,
+)
+from repro.lowerbounds.block_instance import BlockHardInstance, build_block_instance
+from repro.lowerbounds.tree_instance import TreeHardInstance, build_tree_instance
+
+__all__ = [
+    "AdversaryCertificate",
+    "BlockHardInstance",
+    "TreeHardInstance",
+    "attack_block_graph",
+    "attack_tree_graph",
+    "build_block_instance",
+    "build_tree_instance",
+]

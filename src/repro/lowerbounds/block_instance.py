@@ -1,0 +1,123 @@
+"""The Section 4 hard instance (Figure 2): Omega((1/eps)^lambda * n) edges
+are necessary, for ``eps = 1/(2s)``, regardless of query time.
+
+The input ``P`` is ``t`` translated copies ("blocks") of the grid
+``(Z_s)^d`` under ``L_inf`` (see
+:class:`~repro.metrics.adversarial.BlockAdversarialMetric`).  The metric
+space hides one extra non-Euclidean point ``q`` whose distances the
+adversary fixes *after* seeing the graph.  Any (1+eps)-PG must contain
+**every ordered intra-block pair** as an edge: if ``(p1, p2)`` in block
+``M_w`` is missing, Alice sets ``p* = p2`` — making ``p2`` the NN of
+``q`` at distance ``s - 1`` while every other point is at distance
+``>= s > (s-1)(1+eps)`` — and greedy started at ``p1`` is stuck, because
+all of ``p1``'s out-neighbors are at distance ``>= s = D(p1, q)``.
+
+Total: ``s^d * (s^d - 1) * t = Omega(s^d * n)`` edges with ``n = s^d t``.
+Note ``eps = 1/(2s)`` gives ``s^d = (1/(2 eps))^d``, and the doubling
+dimension is at most ``log2(1 + 2^d)`` (Lemma 4.1), so the bound reads
+``Omega((1/eps)^(lambda - o(1)) * n)`` — the ``(1/eps)^lambda`` factor in
+Theorem 1.1's size is not an artifact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.metrics.adversarial import BlockAdversarialMetric
+from repro.metrics.base import Dataset
+
+__all__ = ["BlockHardInstance", "build_block_instance"]
+
+
+@dataclass
+class BlockHardInstance:
+    """The uncommitted instance; graphs are built on ``dataset`` (which
+    exposes only intra-``P`` distances, all equal to ``L_inf``)."""
+
+    metric: BlockAdversarialMetric
+    dataset: Dataset
+    side: int
+    copies: int
+    dim: int
+
+    @property
+    def n(self) -> int:
+        return self.metric.n
+
+    @property
+    def epsilon(self) -> float:
+        """The ``eps = 1/(2s)`` of Statement (2)."""
+        return self.metric.theoretical_epsilon()
+
+    @property
+    def required_edge_count(self) -> int:
+        block = self.metric.block_size
+        return block * (block - 1) * self.copies
+
+    def required_edges(self) -> Iterator[tuple[int, int]]:
+        """All ordered intra-block pairs."""
+        for b in range(self.copies):
+            members = self.metric.block_members(b)
+            for p1 in members:
+                for p2 in members:
+                    if p1 != p2:
+                        yield int(p1), int(p2)
+
+    def missing_required_edges(self, graph) -> list[tuple[int, int]]:
+        """Required edges absent from ``graph`` (early exit at 16)."""
+        missing = []
+        for b in range(self.copies):
+            members = self.metric.block_members(b)
+            member_set = set(map(int, members))
+            for p1 in members:
+                nbrs = set(map(int, graph.out_neighbors(int(p1))))
+                for p2 in member_set - nbrs - {int(p1)}:
+                    missing.append((int(p1), p2))
+                    if len(missing) >= 16:
+                        return missing
+        return missing
+
+    def normalized_dataset(self) -> Dataset:
+        """The instance rescaled to minimum inter-point distance 2 (the
+        grid spacing is 1), as the Section 2 constructions assume.
+
+        Scaling leaves navigability, greedy behavior, and the required
+        edge set untouched — it multiplies every distance by the same
+        factor — so graphs built on the scaled dataset can be attacked
+        through the unscaled adversary unchanged.
+        """
+        from repro.metrics.base import ScaledMetric
+
+        return Dataset(ScaledMetric(self.metric, 2.0), self.metric.point_ids())
+
+    def committed_dataset(self, p_star: int) -> tuple[Dataset, int]:
+        """A fresh dataset under the finalized metric ``D_{p*}``; returns
+        it together with the id of the phantom query point ``q``.
+
+        Alice's move: the committed metric agrees with the uncommitted one
+        on every intra-``P`` distance, so any graph built from ``dataset``
+        is unchanged — only ``q``'s distances become defined.
+        """
+        committed = BlockAdversarialMetric(
+            self.side, self.copies, self.dim, p_star=p_star
+        )
+        return Dataset(committed, committed.point_ids()), committed.query_id
+
+    def lower_bound_formula(self) -> str:
+        return (
+            f"s^d (s^d - 1) t = {self.metric.block_size} * "
+            f"{self.metric.block_size - 1} * {self.copies} = "
+            f"{self.required_edge_count} = Omega(s^d n)"
+        )
+
+
+def build_block_instance(side: int, copies: int, dim: int) -> BlockHardInstance:
+    """Build the instance with grid side ``s``, ``t`` blocks, dimension ``d``."""
+    metric = BlockAdversarialMetric(side=side, copies=copies, dim=dim)
+    dataset = Dataset(metric, metric.point_ids())
+    return BlockHardInstance(
+        metric=metric, dataset=dataset, side=side, copies=copies, dim=dim
+    )

@@ -1,0 +1,127 @@
+"""The Section 3 hard instance (Figure 1): Omega(n log Delta) edges are
+necessary in general metric spaces, for any 2-PG, regardless of query time.
+
+Construction.  Take the complete binary tree with ``2 * Delta`` leaves
+(``h = log2(2 * Delta)`` levels) and the ultrametric of
+:class:`~repro.metrics.tree_metric.TreeMetric`.  Let ``pi`` be the
+leftmost root-to-leaf path, ``u_i`` the level-``i`` node on ``pi``, and
+``T_i`` the right subtree of ``u_i``.  The input is
+
+* ``P1`` — all ``n`` leaves under ``u_{log2 n}`` (ids ``0 .. n-1``), and
+* ``P2`` — one leaf from each ``T_i`` with ``i in (h/2, h]`` (we take the
+  leftmost, id ``2^(i-1)``), giving ``floor(h/2)``-ish points.
+
+Any 2-navigable graph must contain **every** edge of ``P1 x P2``: if
+``(v1, v2)`` is missing, then with query ``q = v2`` (whose NN is itself,
+at distance 0) every out-neighbor of ``v1`` is at distance ``>= D(v1, q)``
+— the LCA case analysis of Section 3 — so greedy is stuck at ``v1``,
+which is not a 2-ANN.  Hence at least ``|P1| * |P2| = Omega(n log Delta)``
+edges.  The theorem also holds with 2 replaced by any constant ``c > 1``,
+which :func:`required_edges` reflects by being approximation-free.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.metrics.base import Dataset
+from repro.metrics.tree_metric import TreeMetric
+
+__all__ = ["TreeHardInstance", "build_tree_instance"]
+
+
+def _is_power_of_two(x: int) -> bool:
+    return x >= 1 and (x & (x - 1)) == 0
+
+
+@dataclass
+class TreeHardInstance:
+    """The instance plus index bookkeeping.
+
+    ``dataset.points`` holds leaf ids; ``p1`` and ``p2`` are *dataset
+    indices* (0-based vertex ids of any graph built on the instance).
+    """
+
+    metric: TreeMetric
+    dataset: Dataset
+    p1: np.ndarray
+    p2: np.ndarray
+    n_param: int
+    delta: int
+    height: int
+
+    @property
+    def required_edge_count(self) -> int:
+        return len(self.p1) * len(self.p2)
+
+    def required_edges(self) -> Iterator[tuple[int, int]]:
+        """All ``P1 x P2`` dataset-index pairs (edges every 2-PG needs)."""
+        for v1 in self.p1:
+            for v2 in self.p2:
+                yield int(v1), int(v2)
+
+    def missing_required_edges(self, graph) -> list[tuple[int, int]]:
+        """Required edges absent from ``graph`` (early exit at 16)."""
+        missing = []
+        p2_leaf_rows = np.asarray(self.p2, dtype=np.intp)
+        for v1 in self.p1:
+            nbrs = set(map(int, graph.out_neighbors(int(v1))))
+            for v2 in p2_leaf_rows:
+                if int(v2) not in nbrs:
+                    missing.append((int(v1), int(v2)))
+                    if len(missing) >= 16:
+                        return missing
+        return missing
+
+    def all_metric_points(self) -> np.ndarray:
+        """Every point of ``M`` (all ``2 * Delta`` leaves) — the finite
+        query universe for exhaustive navigability checks."""
+        return np.arange(self.metric.num_leaves, dtype=np.int64)
+
+    def lower_bound_formula(self) -> str:
+        return (
+            f"|P1| * |P2| = {len(self.p1)} * {len(self.p2)} = "
+            f"{self.required_edge_count} = Omega(n log Delta)"
+        )
+
+
+def build_tree_instance(
+    n: int, delta: int, strict: bool = True
+) -> TreeHardInstance:
+    """Build the hard instance for parameters ``n`` and ``Delta``.
+
+    With ``strict=True`` the paper's preconditions are enforced: ``n`` and
+    ``Delta`` powers of two, ``n >= 2``, ``n^2 <= 2*Delta <= 2^n``.  With
+    ``strict=False`` only the structural requirements are checked
+    (``log2 n <= h/2`` so that ``P1`` and ``P2`` are disjoint), letting
+    benches sweep a wider parameter grid.
+    """
+    if not (_is_power_of_two(n) and _is_power_of_two(delta)):
+        raise ValueError("n and Delta must be powers of two")
+    if n < 2:
+        raise ValueError("n must be at least 2")
+    height = int(math.log2(2 * delta))
+    if strict and not (n * n <= 2 * delta <= 2**n):
+        raise ValueError("the paper requires n^2 <= 2*Delta <= 2^n")
+    if int(math.log2(n)) > height // 2:
+        raise ValueError("need log2(n) <= h/2 for P1 and P2 to be disjoint")
+
+    metric = TreeMetric(height=height)
+    p1_leaves = np.arange(n, dtype=np.int64)  # leaves under u_{log n}
+    p2_levels = range(height // 2 + 1, height + 1)
+    p2_leaves = np.array([1 << (i - 1) for i in p2_levels], dtype=np.int64)
+    points = np.concatenate([p1_leaves, p2_leaves])
+    dataset = Dataset(metric, points)
+    return TreeHardInstance(
+        metric=metric,
+        dataset=dataset,
+        p1=np.arange(n, dtype=np.intp),
+        p2=np.arange(n, n + len(p2_leaves), dtype=np.intp),
+        n_param=n,
+        delta=delta,
+        height=height,
+    )

@@ -1,0 +1,187 @@
+"""The adversarial metric family ``D = {D_{p*}}`` of Section 4 (Figure 2).
+
+The hard input ``P`` is a union of ``t`` translated copies ("blocks") of
+the integer grid ``M = (Z_s)^d``; block ``i`` is translated by
+``w_i = (i * 2s, 0, ..., 0)``.  The metric space adds one extra,
+*non-Euclidean* point ``q`` (the adversary's future query) whose distances
+depend on a secret choice ``p* in P``:
+
+* ``D_{p*}(p1, p2) = L_inf(p1, p2)``          for ``p1, p2 in P``;
+* ``D_{p*}(p, q)  = L_inf(p, w*)``            for ``p`` outside ``p*``'s block;
+* ``D_{p*}(p, q)  = s``                        for ``p != p*`` inside the block;
+* ``D_{p*}(p*, q) = s - 1``;
+* ``D_{p*}(q, q)  = 0``,
+
+where ``w*`` is the translation vector of the block containing ``p*``
+(itself a point of that block).  Lemma 4.1 proves every ``D_{p*}`` is a
+metric with doubling dimension at most ``log2(1 + 2^d)``.
+
+Crucially, every member of the family agrees on all distances **within**
+``P`` — an index-construction algorithm that can only probe points of
+``P`` cannot distinguish them, which is what powers the adversary argument
+(see :mod:`repro.lowerbounds.adversary`).
+
+Representation: points are integer ids.  Ids ``0..n-1`` are the points of
+``P`` (with coordinate rows in :attr:`coords`); the id :attr:`query_id`
+(= n) is the phantom point ``q``.  Until the adversary commits to ``p*``
+via :meth:`commit`, any distance involving ``q`` raises
+:class:`AdversaryNotCommittedError`, modelling the information barrier.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.base import MetricSpace
+
+__all__ = ["BlockAdversarialMetric", "AdversaryNotCommittedError"]
+
+
+class AdversaryNotCommittedError(RuntimeError):
+    """Raised when a distance involving the phantom query point ``q`` is
+    requested before the adversary has fixed ``p*``.
+
+    The construction algorithm only ever sees distances within ``P``
+    (Section 4: "the algorithm can evaluate only the distances between the
+    points in P, but not the distance between q and any p in P").
+    """
+
+
+class BlockAdversarialMetric(MetricSpace):
+    """One member (or the uncommitted family) of ``D = {D_{p*}}``.
+
+    Parameters
+    ----------
+    side:
+        ``s >= 2``, the grid side length of each block.
+    copies:
+        ``t >= 1``, the number of translated blocks.
+    dim:
+        ``d >= 1``, the grid dimensionality.
+    p_star:
+        Optional id of ``p*``; ``None`` leaves the family uncommitted.
+    """
+
+    def __init__(self, side: int, copies: int, dim: int, p_star: int | None = None):
+        if side < 2:
+            raise ValueError("side s must be >= 2")
+        if copies < 1:
+            raise ValueError("copies t must be >= 1")
+        if dim < 1:
+            raise ValueError("dim d must be >= 1")
+        self.side = int(side)
+        self.copies = int(copies)
+        self.dim = int(dim)
+
+        s, t, d = self.side, self.copies, self.dim
+        block_size = s**d
+        self.block_size = block_size
+        self.n = block_size * t
+        self.query_id = self.n
+
+        # Coordinates of all points of P, block-major: point id
+        # b * block_size + j is grid cell j of block b.
+        grid = np.stack(
+            np.meshgrid(*([np.arange(s)] * d), indexing="ij"), axis=-1
+        ).reshape(-1, d)
+        blocks = []
+        for b in range(t):
+            shifted = grid.copy()
+            shifted[:, 0] += b * 2 * s
+            blocks.append(shifted)
+        self.coords = np.concatenate(blocks, axis=0).astype(np.int64)
+        self.block_of = np.repeat(np.arange(t, dtype=np.int64), block_size)
+
+        # Translation vectors w_i (each is the first point of its block).
+        self.w_coords = np.zeros((t, d), dtype=np.int64)
+        self.w_coords[:, 0] = 2 * s * np.arange(t)
+
+        self.p_star: int | None = None
+        if p_star is not None:
+            self.commit(p_star)
+
+    # ------------------------------------------------------------------
+
+    def commit(self, p_star: int) -> "BlockAdversarialMetric":
+        """Fix the secret ``p*``, finalizing ``D`` to ``D_{p*}``."""
+        p_star = int(p_star)
+        if not 0 <= p_star < self.n:
+            raise ValueError("p_star must be a point id of P")
+        self.p_star = p_star
+        return self
+
+    @property
+    def star_block(self) -> int:
+        """Index of ``w*``'s block (requires a committed ``p*``)."""
+        if self.p_star is None:
+            raise AdversaryNotCommittedError("p* has not been chosen")
+        return int(self.block_of[self.p_star])
+
+    def point_ids(self) -> np.ndarray:
+        """Ids of the points of ``P`` (excluding the phantom ``q``)."""
+        return np.arange(self.n, dtype=np.int64)
+
+    def block_members(self, block: int) -> np.ndarray:
+        """Ids of the points in the given block."""
+        lo = block * self.block_size
+        return np.arange(lo, lo + self.block_size, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+
+    def _linf_rows(self, a_row: np.ndarray, rows: np.ndarray) -> np.ndarray:
+        return np.abs(rows - a_row[None, :]).max(axis=1).astype(np.float64)
+
+    def _query_distances(self, ids: np.ndarray) -> np.ndarray:
+        """``D_{p*}(q, p)`` for each data id in ``ids``."""
+        if self.p_star is None:
+            raise AdversaryNotCommittedError(
+                "distance to q requested before the adversary committed to p*"
+            )
+        s = float(self.side)
+        w_star = self.w_coords[self.star_block]
+        out = self._linf_rows(w_star, self.coords[ids])
+        in_star_block = self.block_of[ids] == self.star_block
+        out[in_star_block] = s
+        out[ids == self.p_star] = s - 1.0
+        return out
+
+    def distance(self, a: int, b: int) -> float:
+        a, b = int(a), int(b)
+        if a == b:
+            return 0.0
+        if a == self.query_id and b == self.query_id:
+            return 0.0
+        if a == self.query_id:
+            return float(self._query_distances(np.array([b]))[0])
+        if b == self.query_id:
+            return float(self._query_distances(np.array([a]))[0])
+        return float(np.abs(self.coords[a] - self.coords[b]).max())
+
+    def distances(self, a: int, batch: np.ndarray) -> np.ndarray:
+        a = int(a)
+        batch = np.asarray(batch, dtype=np.int64)
+        is_q = batch == self.query_id
+        out = np.empty(len(batch), dtype=np.float64)
+        if a == self.query_id:
+            if is_q.any():
+                out[is_q] = 0.0
+            rest = ~is_q
+            if rest.any():
+                out[rest] = self._query_distances(batch[rest])
+            return out
+        if is_q.any():
+            out[is_q] = self._query_distances(np.array([a]))[0]
+        rest = ~is_q
+        if rest.any():
+            out[rest] = self._linf_rows(self.coords[a], self.coords[batch[rest]])
+        return out
+
+    # ------------------------------------------------------------------
+
+    def theoretical_epsilon(self) -> float:
+        """The ``epsilon = 1/(2s)`` for which Statement (2) applies."""
+        return 1.0 / (2 * self.side)
+
+    def doubling_dimension_bound(self) -> float:
+        """Lemma 4.1's bound ``log2(1 + 2^d)`` on the doubling dimension."""
+        return float(np.log2(1 + 2**self.dim))

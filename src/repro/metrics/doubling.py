@@ -1,0 +1,98 @@
+"""Doubling-dimension tooling: the packing bound (Fact 2.3) and empirical
+estimators.
+
+Fact 2.3 is the workhorse of every size/degree analysis in the paper: any
+subset ``X`` of a metric space with doubling dimension ``lambda`` and
+aspect ratio ``A`` has ``|X| <= (8A)^lambda`` points.  We expose the bound
+itself (for tests asserting the degree analyses of Sections 2.3 and 2.4)
+and a sampling estimator of the doubling constant of a finite dataset.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.metrics.base import Dataset
+
+__all__ = [
+    "packing_bound",
+    "check_packing",
+    "estimate_doubling_constant",
+    "greedy_half_radius_cover",
+]
+
+
+def packing_bound(aspect_ratio: float, doubling_dimension: float) -> float:
+    """Fact 2.3's explicit bound ``(8A)^lambda`` on the size of a subset
+    with aspect ratio ``A`` in a ``lambda``-doubling space."""
+    if aspect_ratio < 1:
+        raise ValueError("aspect ratio is at least 1 by definition")
+    return (8.0 * aspect_ratio) ** doubling_dimension
+
+
+def check_packing(
+    subset_size: int, aspect_ratio: float, doubling_dimension: float
+) -> bool:
+    """``True`` iff ``subset_size`` respects Fact 2.3 for the given
+    parameters."""
+    return subset_size <= packing_bound(aspect_ratio, doubling_dimension)
+
+
+def greedy_half_radius_cover(
+    dataset: Dataset, ball_member_ids: np.ndarray, radius: float
+) -> list[int]:
+    """Greedily cover the points ``ball_member_ids`` with balls of radius
+    ``radius / 2`` centered at member points; return the chosen centers.
+
+    Greedy set cover with centers restricted to the set itself needs at
+    most ``2^(2*lambda)`` balls when the true doubling dimension is
+    ``lambda`` (centers in ``M`` would need ``2^lambda``), so the estimate
+    of :func:`estimate_doubling_constant` is at most twice the truth —
+    fine for sanity checks on workloads.
+    """
+    remaining = list(map(int, ball_member_ids))
+    centers: list[int] = []
+    while remaining:
+        c = remaining[0]
+        centers.append(c)
+        dists = dataset.distances_from_index(c, np.array(remaining, dtype=np.intp))
+        remaining = [p for p, dist in zip(remaining, dists) if dist > radius / 2.0]
+    return centers
+
+
+def estimate_doubling_constant(
+    dataset: Dataset,
+    rng: np.random.Generator,
+    trials: int = 32,
+) -> float:
+    """Estimate ``log2`` of the doubling constant of ``dataset`` by random
+    ball sampling.
+
+    For each trial: pick a random center ``p`` and a random radius between
+    the center's nearest-neighbor distance and its eccentricity, collect
+    the ball members, greedily cover them with half-radius balls, and
+    record ``log2`` of the cover size.  The maximum over trials is an
+    (up-to-factor-2, see :func:`greedy_half_radius_cover`) empirical
+    stand-in for the doubling dimension of the *dataset* — useful for
+    characterizing workloads in benches, not a certified bound.
+    """
+    if trials < 1:
+        raise ValueError("need at least one trial")
+    worst = 0.0
+    for _ in range(trials):
+        center = int(rng.integers(dataset.n))
+        row = dataset.distances_from_index_to_all(center)
+        row_wo_self = np.delete(row, center)
+        lo, hi = float(row_wo_self.min()), float(row.max())
+        if hi <= 0:
+            continue
+        lo = max(lo, hi * 1e-9)
+        radius = float(np.exp(rng.uniform(np.log(lo), np.log(hi))))
+        members = np.flatnonzero(row <= radius)
+        if len(members) < 2:
+            continue
+        cover = greedy_half_radius_cover(dataset, members, radius)
+        worst = max(worst, math.log2(len(cover)))
+    return worst

@@ -1,0 +1,89 @@
+"""Euclidean and related norm-induced metrics on ``R^d``.
+
+The paper's Theorem 1.3 lives in ``(R^d, L2)`` with constant ``d``; the
+Section 4 lower bound uses ``L_inf`` between grid points.  Points are
+``(d,)`` float64 arrays and batches are ``(m, d)`` arrays, so all methods
+vectorize with numpy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.base import MetricSpace
+
+__all__ = ["EuclideanMetric", "ChebyshevMetric", "MinkowskiMetric"]
+
+
+class EuclideanMetric(MetricSpace):
+    """The ``L2`` metric on ``R^d``.
+
+    The doubling dimension of ``(R^d, L2)`` is ``Theta(d)`` (the paper
+    uses ``d <= lambda = O(d)``), so algorithms parameterized by the
+    doubling dimension may take ``d`` as a proxy.
+    """
+
+    def distance(self, a: np.ndarray, b: np.ndarray) -> float:
+        diff = np.asarray(a, dtype=np.float64) - np.asarray(b, dtype=np.float64)
+        return float(np.sqrt(np.dot(diff, diff)))
+
+    def distances(self, a: np.ndarray, batch: np.ndarray) -> np.ndarray:
+        batch = np.asarray(batch, dtype=np.float64)
+        if batch.ndim == 1:
+            batch = batch[None, :]
+        diff = batch - np.asarray(a, dtype=np.float64)[None, :]
+        return np.sqrt(np.einsum("ij,ij->i", diff, diff))
+
+    def pairwise(self, batch: np.ndarray) -> np.ndarray:
+        batch = np.asarray(batch, dtype=np.float64)
+        # ||x - y||^2 = ||x||^2 + ||y||^2 - 2 x.y, clipped against fp noise.
+        sq = np.einsum("ij,ij->i", batch, batch)
+        gram = batch @ batch.T
+        d2 = sq[:, None] + sq[None, :] - 2.0 * gram
+        np.maximum(d2, 0.0, out=d2)
+        np.fill_diagonal(d2, 0.0)
+        return np.sqrt(d2)
+
+
+class ChebyshevMetric(MetricSpace):
+    """The ``L_inf`` metric on ``R^d`` (doubling dimension exactly ``d``).
+
+    Used by the Section 4 hard instance, whose intra-``P`` distances are
+    ``L_inf`` between integer grid points.
+    """
+
+    def distance(self, a: np.ndarray, b: np.ndarray) -> float:
+        a = np.asarray(a, dtype=np.float64)
+        b = np.asarray(b, dtype=np.float64)
+        return float(np.abs(a - b).max())
+
+    def distances(self, a: np.ndarray, batch: np.ndarray) -> np.ndarray:
+        batch = np.asarray(batch, dtype=np.float64)
+        if batch.ndim == 1:
+            batch = batch[None, :]
+        return np.abs(batch - np.asarray(a, dtype=np.float64)[None, :]).max(axis=1)
+
+
+class MinkowskiMetric(MetricSpace):
+    """The ``Lp`` metric on ``R^d`` for ``p >= 1``.
+
+    Provided for workload variety (the theory of Sections 2-4 applies to
+    any metric of bounded doubling dimension, which every fixed-``d``
+    ``Lp`` space has).
+    """
+
+    def __init__(self, p: float):
+        if p < 1:
+            raise ValueError("Lp is a metric only for p >= 1")
+        self.p = float(p)
+
+    def distance(self, a: np.ndarray, b: np.ndarray) -> float:
+        diff = np.abs(np.asarray(a, dtype=np.float64) - np.asarray(b, dtype=np.float64))
+        return float((diff**self.p).sum() ** (1.0 / self.p))
+
+    def distances(self, a: np.ndarray, batch: np.ndarray) -> np.ndarray:
+        batch = np.asarray(batch, dtype=np.float64)
+        if batch.ndim == 1:
+            batch = batch[None, :]
+        diff = np.abs(batch - np.asarray(a, dtype=np.float64)[None, :])
+        return (diff**self.p).sum(axis=1) ** (1.0 / self.p)

@@ -1,0 +1,109 @@
+"""The tree metric underlying the Section 3 lower bound (Figure 1).
+
+The paper builds a metric space from a complete binary tree ``T`` with
+``2 * Delta`` leaves (``h + 1`` levels, ``h = log2(2 * Delta)``, leaves at
+level 0).  Each tree edge from a parent to a child ``v`` weighs 1 if ``v``
+is a leaf and ``2^(level(v) - 1)`` otherwise.  ``M`` is the set of leaves
+and ``D`` is the path weight, which collapses to the closed form
+
+    ``D(v1, v2) = 2^ell``  where ``ell`` is the level of ``LCA(v1, v2)``,
+
+for distinct leaves (and 0 otherwise).  The space is an ultrametric: for
+any three leaves, the two largest pairwise distances are equal, which is
+strictly stronger than the triangle inequality.  Its doubling dimension is
+exactly 1 (Appendix C): any ball equals the leaf set of some subtree and
+splits into the two child subtrees' leaf balls of half the radius.
+
+Leaves are represented as integers ``0 .. 2*Delta - 1`` in left-to-right
+order, so the LCA level of two distinct leaves is simply the bit length of
+``v1 XOR v2`` — the construction is purely arithmetic, no tree object is
+materialized.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.base import MetricSpace
+
+__all__ = ["TreeMetric", "lca_level"]
+
+_MAX_HEIGHT = 62  # leaf ids must fit in int64
+
+
+def lca_level(v1: int, v2: int) -> int:
+    """Level (counted from the leaves, which sit at level 0) of the lowest
+    common ancestor of leaves ``v1`` and ``v2`` in a complete binary tree.
+
+    Equals the bit length of ``v1 XOR v2``: two leaves agree on all bit
+    positions above the LCA level and first differ at bit ``level - 1``.
+    """
+    return int(int(v1) ^ int(v2)).bit_length()
+
+
+class TreeMetric(MetricSpace):
+    """Ultrametric on the leaves of a complete binary tree of height ``h``.
+
+    Parameters
+    ----------
+    height:
+        Number of edge-levels ``h``; the tree has ``2^h`` leaves and the
+        diameter of the leaf set is ``2^h``.  With the paper's convention
+        ``2 * Delta = 2^h`` leaves, i.e. ``Delta = 2^(h-1)``.
+    """
+
+    #: Doubling dimension of this metric space (proved in Appendix C).
+    DOUBLING_DIMENSION = 1.0
+
+    def __init__(self, height: int):
+        if not 1 <= height <= _MAX_HEIGHT:
+            raise ValueError(f"height must be in [1, {_MAX_HEIGHT}]")
+        self.height = int(height)
+        self.num_leaves = 1 << self.height
+
+    # ------------------------------------------------------------------
+
+    def _validate(self, v: int) -> int:
+        v = int(v)
+        if not 0 <= v < self.num_leaves:
+            raise ValueError(f"leaf id {v} out of range [0, {self.num_leaves})")
+        return v
+
+    def distance(self, a: int, b: int) -> float:
+        a, b = self._validate(a), self._validate(b)
+        if a == b:
+            return 0.0
+        return float(1 << lca_level(a, b))
+
+    def distances(self, a: int, batch: np.ndarray) -> np.ndarray:
+        a = self._validate(a)
+        batch = np.asarray(batch, dtype=np.int64)
+        xor = np.bitwise_xor(batch, np.int64(a))
+        out = np.zeros(len(batch), dtype=np.float64)
+        nz = xor != 0
+        # bit_length(x) = floor(log2(x)) + 1; exact in float64 for x < 2^53,
+        # and our ids are capped at 2^62 so route through exact exponent
+        # extraction instead of log2 to stay safe at the top of the range.
+        exponents = np.frexp(xor[nz].astype(np.float64))[1]  # == bit_length
+        out[nz] = np.ldexp(1.0, exponents)
+        return out
+
+    # ------------------------------------------------------------------
+    # Tree navigation helpers used by the hard-instance generator.
+    # ------------------------------------------------------------------
+
+    def leftmost_leaf_of_subtree(self, ancestor_level: int, path_prefix: int) -> int:
+        """Leaf id of the leftmost leaf under the node at ``ancestor_level``
+        whose root-to-node path is encoded by ``path_prefix`` (the high bits
+        of all its leaves)."""
+        return path_prefix << ancestor_level
+
+    def subtree_leaves(self, ancestor_level: int, path_prefix: int) -> np.ndarray:
+        """All leaf ids under the node at ``ancestor_level`` with the given
+        high-bit prefix, in left-to-right order."""
+        base = path_prefix << ancestor_level
+        return base + np.arange(1 << ancestor_level, dtype=np.int64)
+
+    def ancestor_prefix(self, leaf: int, level: int) -> int:
+        """High-bit prefix identifying the ancestor of ``leaf`` at ``level``."""
+        return self._validate(leaf) >> level

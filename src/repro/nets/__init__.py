@@ -1,0 +1,13 @@
+"""r-net substrate: greedy nets, verification, and the full ``Y_0..Y_h``
+hierarchy consumed by the G_net construction (Section 2)."""
+
+from repro.nets.hierarchy import NetHierarchy, farthest_point_order
+from repro.nets.rnet import RNetViolation, greedy_rnet, verify_rnet
+
+__all__ = [
+    "NetHierarchy",
+    "RNetViolation",
+    "farthest_point_order",
+    "greedy_rnet",
+    "verify_rnet",
+]

@@ -1,0 +1,136 @@
+"""The net hierarchy ``Y_0, ..., Y_h`` of Section 2.1 (equation (2)).
+
+The G_net construction needs, for each level ``i in [0, h]``, a ``2^i``-net
+``Y_i`` of ``P``.  The paper invokes Har-Peled & Mendel [15] to compute all
+levels in ``O(n log(n Delta))`` time.  We substitute a single
+farthest-point (Gonzalez) traversal, which yields **all** levels at once:
+
+    Let ``p_1, p_2, ...`` be the traversal order and ``d_k`` the distance
+    of ``p_k`` to ``{p_1, .., p_{k-1}}`` at selection time (``d_1 = inf``).
+    The ``d_k`` are non-increasing, and for any ``r`` the prefix
+    ``{p_1, .., p_k}`` with ``d_k >= r > d_{k+1}`` is an r-net of ``P``:
+
+    * separation — each prefix point was ``>= d_k >= r`` from all earlier
+      points when chosen;
+    * covering — every non-prefix point is within ``d_{k+1} < r`` of the
+      prefix (the traversal always picks the farthest remaining point).
+
+Consequently the levels are *nested* (``Y_h ⊆ ... ⊆ Y_0``), which is a
+convenience the paper does not require but never hurts.  The traversal
+costs ``O(n^2)`` scalar distance evaluations (vectorized row-at-a-time);
+see DESIGN.md §5 for why this substitution preserves every property the
+proofs consume.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.metrics.base import Dataset
+
+__all__ = ["NetHierarchy", "farthest_point_order"]
+
+
+def farthest_point_order(
+    dataset: Dataset, start: int = 0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Gonzalez farthest-point traversal of the whole dataset.
+
+    Returns ``(order, insertion_distances)`` where ``order`` is a
+    permutation of ``0..n-1`` and ``insertion_distances[k]`` is the
+    distance of ``order[k]`` to the first ``k`` points at selection time
+    (``inf`` for the first point).  Ties are broken toward the smaller
+    point id, making the traversal deterministic.
+    """
+    n = dataset.n
+    order = np.empty(n, dtype=np.intp)
+    insertion = np.empty(n, dtype=np.float64)
+    cover = np.full(n, np.inf)
+
+    current = int(start)
+    for k in range(n):
+        order[k] = current
+        insertion[k] = cover[current]
+        d = dataset.distances_from_index_to_all(current)
+        np.minimum(cover, d, out=cover)
+        cover[current] = -np.inf  # never re-selected
+        if k + 1 < n:
+            current = int(np.argmax(cover))
+    return order, insertion
+
+
+class NetHierarchy:
+    """All nets ``Y_0 .. Y_h`` of a dataset, as prefixes of one traversal.
+
+    Parameters
+    ----------
+    dataset:
+        A dataset normalized so the minimum inter-point distance is at
+        least 2 (Section 2.1's convention); then ``Y_0 = P`` holds by
+        definition and the hierarchy is exactly the paper's.
+    height:
+        ``h = ceil(log2 diam(P))`` (equation (1)).  If omitted it is
+        derived from the largest insertion distance (which equals the
+        eccentricity of the start point, a 2-approximation of the
+        diameter, so the derived ``h`` may exceed the exact one by 1 —
+        harmless: top levels just repeat the singleton net).
+    """
+
+    def __init__(self, dataset: Dataset, height: int | None = None, start: int = 0):
+        self.dataset = dataset
+        self.order, self.insertion_distances = farthest_point_order(dataset, start)
+        finite = self.insertion_distances[1:]
+        self._max_finite = float(finite.max()) if len(finite) else 0.0
+        if height is None:
+            if self._max_finite <= 0:
+                raise ValueError("degenerate dataset: all points identical")
+            height = max(1, math.ceil(math.log2(2.0 * self._max_finite)))
+        self.height = int(height)
+
+        # prefix_len[i] = |Y_i| = number of traversal points with insertion
+        # distance >= 2^i.  insertion_distances is non-increasing after the
+        # first entry, so a binary search suffices; we keep it simple.
+        self._prefix_len = np.empty(self.height + 1, dtype=np.intp)
+        for i in range(self.height + 1):
+            self._prefix_len[i] = int(
+                np.count_nonzero(self.insertion_distances >= float(2**i))
+            )
+        if self._prefix_len.min() < 1:
+            raise ValueError("every net level must contain at least one point")
+
+    # ------------------------------------------------------------------
+
+    @property
+    def max_insertion_distance(self) -> float:
+        """Largest finite insertion distance = eccentricity of the start
+        point, a 2-approximation of ``diam(P)`` from below."""
+        return self._max_finite
+
+    def level(self, i: int) -> np.ndarray:
+        """Point ids of the ``2^i``-net ``Y_i`` (a traversal prefix)."""
+        if not 0 <= i <= self.height:
+            raise ValueError(f"level {i} outside [0, {self.height}]")
+        return self.order[: self._prefix_len[i]]
+
+    def level_size(self, i: int) -> int:
+        if not 0 <= i <= self.height:
+            raise ValueError(f"level {i} outside [0, {self.height}]")
+        return int(self._prefix_len[i])
+
+    def net_for_radius(self, r: float) -> np.ndarray:
+        """Prefix that forms an r-net of ``P`` for an arbitrary ``r > 0``."""
+        if r <= 0:
+            raise ValueError("net radius must be positive")
+        k = int(np.count_nonzero(self.insertion_distances >= r))
+        return self.order[: max(k, 1)]
+
+    @property
+    def levels(self) -> list[np.ndarray]:
+        """All levels ``[Y_0, ..., Y_h]``."""
+        return [self.level(i) for i in range(self.height + 1)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        sizes = ", ".join(str(self.level_size(i)) for i in range(self.height + 1))
+        return f"NetHierarchy(h={self.height}, sizes=[{sizes}])"

@@ -1,0 +1,109 @@
+"""r-nets: the computational-geometry tool at the heart of Section 2.
+
+Given ``X`` and ``r > 0``, an *r-net* ``Y`` of ``X`` satisfies
+
+* separation: ``D(y1, y2) >= r`` for distinct ``y1, y2 in Y``;
+* covering:   every ``x in X`` has some ``y in Y`` with ``D(x, y) <= r``.
+
+The classical greedy construction (scan points, keep each point that is at
+distance ``>= r`` from every kept point) produces an r-net: kept points
+are pairwise ``>= r`` by construction, and every discarded point was
+within ``< r`` of an earlier kept point.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.base import Dataset
+
+__all__ = ["greedy_rnet", "verify_rnet", "RNetViolation"]
+
+
+class RNetViolation(AssertionError):
+    """Raised by :func:`verify_rnet` with a description of the violation."""
+
+
+def greedy_rnet(
+    dataset: Dataset,
+    r: float,
+    candidate_ids: np.ndarray | None = None,
+) -> np.ndarray:
+    """Greedy r-net of the points ``candidate_ids`` (default: all of ``P``).
+
+    Returns the chosen center ids in selection order.  Deterministic for a
+    fixed candidate order.  Cost is ``O(|Y| * |X|)`` batched distance
+    evaluations, where ``Y`` is the output net.
+    """
+    if r <= 0:
+        raise ValueError("net radius r must be positive")
+    if candidate_ids is None:
+        candidate_ids = np.arange(dataset.n, dtype=np.intp)
+    else:
+        candidate_ids = np.asarray(candidate_ids, dtype=np.intp)
+    m = len(candidate_ids)
+    if m == 0:
+        return candidate_ids
+
+    # cover_dist[j] = distance from candidate j to the nearest chosen center.
+    cover_dist = np.full(m, np.inf)
+    chosen: list[int] = []
+    while True:
+        uncovered = np.flatnonzero(cover_dist >= r)
+        if len(uncovered) == 0:
+            break
+        j = int(uncovered[0])
+        center = int(candidate_ids[j])
+        chosen.append(center)
+        dists = dataset.distances_from_index(center, candidate_ids)
+        np.minimum(cover_dist, dists, out=cover_dist)
+    return np.array(chosen, dtype=np.intp)
+
+
+def verify_rnet(
+    dataset: Dataset,
+    center_ids: np.ndarray,
+    r: float,
+    covered_ids: np.ndarray | None = None,
+) -> None:
+    """Raise :class:`RNetViolation` unless ``center_ids`` is an r-net of
+    ``covered_ids`` (default: all of ``P``).
+
+    Checks the separation property over all center pairs and the covering
+    property for every point; quadratic, intended for tests.
+    """
+    centers = np.asarray(center_ids, dtype=np.intp)
+    if covered_ids is None:
+        covered_ids = np.arange(dataset.n, dtype=np.intp)
+    covered = np.asarray(covered_ids, dtype=np.intp)
+
+    if len(centers) == 0:
+        if len(covered) > 0:
+            raise RNetViolation("empty net cannot cover a non-empty set")
+        return
+    if len(np.unique(centers)) != len(centers):
+        raise RNetViolation("net contains duplicate centers")
+    if not np.isin(centers, covered).all():
+        raise RNetViolation("net centers must come from the covered set")
+
+    for k, c in enumerate(centers):
+        others = np.delete(centers, k)
+        if len(others) > 0:
+            d = dataset.distances_from_index(int(c), others)
+            if (d < r).any():
+                bad = int(others[int(np.argmin(d))])
+                raise RNetViolation(
+                    f"separation violated: D({c}, {bad}) = {d.min()} < r = {r}"
+                )
+
+    # Covering: nearest center of every covered point must be within r.
+    nearest = np.full(len(covered), np.inf)
+    for c in centers:
+        d = dataset.distances_from_index(int(c), covered)
+        np.minimum(nearest, d, out=nearest)
+    if (nearest > r).any():
+        bad = int(covered[int(np.argmax(nearest))])
+        raise RNetViolation(
+            f"covering violated: point {bad} is {nearest.max()} > r = {r} "
+            "away from every center"
+        )

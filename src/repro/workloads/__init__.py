@@ -1,0 +1,36 @@
+"""Seeded synthetic workloads (point sets and query sets) used by tests,
+examples, and every benchmark."""
+
+from repro.workloads.queries import (
+    data_queries,
+    far_queries,
+    near_data_queries,
+    uniform_queries,
+)
+from repro.workloads.synthetic import (
+    exponential_cluster_chain,
+    exponential_line,
+    gaussian_clusters,
+    geometric_clusters,
+    grid_points,
+    jittered_grid,
+    low_doubling_curve,
+    make_dataset,
+    uniform_cube,
+)
+
+__all__ = [
+    "data_queries",
+    "exponential_cluster_chain",
+    "exponential_line",
+    "far_queries",
+    "gaussian_clusters",
+    "geometric_clusters",
+    "grid_points",
+    "jittered_grid",
+    "low_doubling_curve",
+    "make_dataset",
+    "near_data_queries",
+    "uniform_cube",
+    "uniform_queries",
+]

@@ -1,0 +1,59 @@
+"""Query-point generators.
+
+A (1+eps)-PG must serve *every* query of the metric space from *every*
+start vertex, so benches and tests draw queries from several regimes:
+near the data (the easy case systems advertise), uniformly over the
+bounding box, far outside it (stressing the top net levels), and the data
+points themselves (where the exact NN is known to be distance 0).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "uniform_queries",
+    "near_data_queries",
+    "far_queries",
+    "data_queries",
+]
+
+
+def uniform_queries(
+    m: int, points: np.ndarray, rng: np.random.Generator, margin: float = 0.1
+) -> np.ndarray:
+    """``m`` uniform queries over the data bounding box inflated by
+    ``margin`` per side."""
+    lo, hi = points.min(axis=0), points.max(axis=0)
+    pad = (hi - lo) * margin
+    return rng.uniform(lo - pad, hi + pad, size=(m, points.shape[1]))
+
+
+def near_data_queries(
+    m: int, points: np.ndarray, rng: np.random.Generator, noise: float = 0.05
+) -> np.ndarray:
+    """``m`` queries sampled as data points plus Gaussian noise scaled by
+    ``noise`` times the bounding-box diagonal."""
+    idx = rng.integers(len(points), size=m)
+    diag = float(np.linalg.norm(points.max(axis=0) - points.min(axis=0)))
+    return points[idx] + rng.normal(0.0, max(noise * diag, 1e-12), size=(m, points.shape[1]))
+
+
+def far_queries(
+    m: int, points: np.ndarray, rng: np.random.Generator, factor: float = 4.0
+) -> np.ndarray:
+    """``m`` queries placed ``factor`` bounding-box diagonals away in
+    random directions — exercises the coarse net levels."""
+    center = points.mean(axis=0)
+    diag = float(np.linalg.norm(points.max(axis=0) - points.min(axis=0)))
+    dirs = rng.normal(size=(m, points.shape[1]))
+    dirs /= np.linalg.norm(dirs, axis=1, keepdims=True)
+    return center + dirs * diag * factor
+
+
+def data_queries(
+    m: int, points: np.ndarray, rng: np.random.Generator
+) -> np.ndarray:
+    """``m`` data points reused as queries (exact NN distance 0)."""
+    idx = rng.choice(len(points), size=min(m, len(points)), replace=False)
+    return points[idx]

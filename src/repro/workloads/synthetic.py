@@ -1,0 +1,194 @@
+"""Seeded synthetic point-set generators.
+
+The paper's theory is parameterized by ``n``, ``eps``, the aspect ratio
+``Delta``, and the doubling dimension ``lambda``; each generator here
+lets a bench sweep one of those knobs while pinning the others:
+
+* :func:`uniform_cube` — ``Delta ~ n^(1/d)``, ``lambda ~ d``: the
+  baseline workload;
+* :func:`gaussian_clusters` — the clustered data that motivates ANN
+  systems (recommendation/embedding workloads);
+* :func:`geometric_clusters` — a fractal family whose aspect ratio grows
+  geometrically with its ``levels`` parameter at fixed ``n`` — the knob
+  for every ``log Delta`` sweep;
+* :func:`exponential_line` — exponentially stretched collinear points:
+  tiny ``n`` but huge ``Delta``, the stress case for net hierarchies;
+* :func:`low_doubling_curve` — a smooth 1-D curve embedded in ``R^d``:
+  ambient dimension high, doubling dimension ~1, separating the two in
+  benches.
+
+All generators take an explicit ``numpy.random.Generator`` and return
+``(n, d)`` float64 arrays; use :func:`repro.metrics.scaling.normalize_min_distance`
+(or :func:`make_dataset`) before graph construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.base import Dataset, MetricSpace
+from repro.metrics.euclidean import EuclideanMetric
+from repro.metrics.scaling import normalize_min_distance
+
+__all__ = [
+    "uniform_cube",
+    "gaussian_clusters",
+    "geometric_clusters",
+    "exponential_line",
+    "low_doubling_curve",
+    "grid_points",
+    "make_dataset",
+]
+
+
+def uniform_cube(
+    n: int, dim: int, rng: np.random.Generator, side: float = 1.0
+) -> np.ndarray:
+    """``n`` i.i.d. uniform points in ``[0, side]^dim``."""
+    return rng.uniform(0.0, side, size=(n, dim))
+
+
+def gaussian_clusters(
+    n: int,
+    dim: int,
+    rng: np.random.Generator,
+    clusters: int = 8,
+    spread: float = 0.05,
+    side: float = 1.0,
+) -> np.ndarray:
+    """Points drawn around ``clusters`` uniform centers with isotropic
+    Gaussian noise of scale ``spread * side``."""
+    centers = rng.uniform(0.0, side, size=(clusters, dim))
+    assignment = rng.integers(clusters, size=n)
+    return centers[assignment] + rng.normal(0.0, spread * side, size=(n, dim))
+
+
+def geometric_clusters(
+    n: int,
+    dim: int,
+    rng: np.random.Generator,
+    levels: int = 4,
+    branching: int = 2,
+    ratio: float = 8.0,
+    jitter: float = 0.25,
+) -> np.ndarray:
+    """Fractal cluster hierarchy with aspect ratio ``~ ratio^levels``.
+
+    Each point picks a branch at every level; the level-``k`` offset has
+    magnitude ``ratio^k``, so inter-point distances span ``levels``
+    geometric scales while ``n`` stays fixed — the ``log Delta`` sweep
+    workload (larger ``levels`` -> larger ``log Delta``).
+    """
+    if levels < 1:
+        raise ValueError("levels must be at least 1")
+    offsets = []
+    for _ in range(levels):
+        raw = rng.normal(size=(branching, dim))
+        offsets.append(raw / np.linalg.norm(raw, axis=1, keepdims=True))
+    points = rng.normal(0.0, jitter, size=(n, dim))
+    for k in range(levels):
+        choice = rng.integers(branching, size=n)
+        points += offsets[k][choice] * (ratio ** (k + 1))
+    return points
+
+
+def exponential_line(
+    n: int,
+    rng: np.random.Generator,
+    dim: int = 2,
+    base: float = 2.0,
+    jitter: float = 0.01,
+) -> np.ndarray:
+    """Points near a line with exponentially growing gaps: ``x_k ~ base^k``.
+
+    Aspect ratio is ``~ base^n`` — maximal ``log Delta`` per point, the
+    worst case for ``O(n log Delta)``-edge constructions.
+    """
+    points = np.zeros((n, dim))
+    points[:, 0] = base ** np.arange(n)
+    points += rng.normal(0.0, jitter, size=(n, dim))
+    return points
+
+
+def low_doubling_curve(
+    n: int,
+    ambient_dim: int,
+    rng: np.random.Generator,
+    frequencies: int = 3,
+) -> np.ndarray:
+    """Points on a smooth closed curve in ``R^ambient_dim`` (random
+    trigonometric coefficients): doubling dimension ~1 regardless of the
+    ambient dimension."""
+    t = np.sort(rng.uniform(0.0, 2.0 * np.pi, size=n))
+    coeffs_sin = rng.normal(size=(frequencies, ambient_dim))
+    coeffs_cos = rng.normal(size=(frequencies, ambient_dim))
+    points = np.zeros((n, ambient_dim))
+    for f in range(1, frequencies + 1):
+        points += np.outer(np.sin(f * t), coeffs_sin[f - 1])
+        points += np.outer(np.cos(f * t), coeffs_cos[f - 1])
+    return points
+
+
+def grid_points(side: int, dim: int, spacing: float = 1.0) -> np.ndarray:
+    """The full ``side^dim`` lattice with the given spacing."""
+    axes = [np.arange(side, dtype=np.float64) * spacing] * dim
+    mesh = np.meshgrid(*axes, indexing="ij")
+    return np.stack(mesh, axis=-1).reshape(-1, dim)
+
+
+def jittered_grid(
+    side: int, dim: int, rng: np.random.Generator, jitter: float = 0.2
+) -> np.ndarray:
+    """A lattice with per-point uniform jitter: *constant density* data.
+
+    Unlike i.i.d. uniform points (whose closest pair shrinks like
+    ``n^(-2/d)``), the jittered grid keeps the minimum inter-point
+    distance proportional to the spacing, so after normalization the
+    aspect ratio is ``Theta(side)`` = ``Theta(n^(1/d))`` exactly — the
+    cleanest family for "edges vs n log Delta" scaling benches.
+    """
+    if not 0 <= jitter < 0.5:
+        raise ValueError("jitter must be in [0, 0.5) to keep points separated")
+    pts = grid_points(side, dim)
+    return pts + rng.uniform(-jitter, jitter, size=pts.shape)
+
+
+def exponential_cluster_chain(
+    clusters: int,
+    cluster_size: int,
+    rng: np.random.Generator,
+    dim: int = 2,
+    base: float = 4.0,
+    cluster_radius: float = 1.0,
+) -> np.ndarray:
+    """``clusters`` identical blobs at exponentially growing offsets
+    ``base^c`` along the first axis — the log-Delta knob.
+
+    Local geometry (cluster size, radius, density) is *fixed*, so
+    sweeping ``clusters`` changes only the number of distance scales:
+    ``log Delta ~ clusters * log2(base)``.  Each point sees every farther
+    cluster at its own distinct scale, so Theorem 1.1's ``n log Delta``
+    edge bound is tight on this family, while the Theorem 1.3 merged
+    graph stays at ``O(n)`` — the paper's Euclidean separation made
+    visible (benches E1b and E6).
+    """
+    if clusters < 1 or cluster_size < 1:
+        raise ValueError("need at least one cluster with at least one point")
+    blobs = []
+    for c in range(clusters):
+        blob = rng.uniform(-cluster_radius, cluster_radius, size=(cluster_size, dim))
+        blob[:, 0] += base ** (c + 1)
+        blobs.append(blob)
+    return np.concatenate(blobs, axis=0)
+
+
+def make_dataset(
+    points: np.ndarray,
+    metric: MetricSpace | None = None,
+    normalize: bool = True,
+) -> Dataset:
+    """Wrap raw coordinates as a (normalized) Euclidean dataset."""
+    dataset = Dataset(metric or EuclideanMetric(), np.asarray(points, dtype=np.float64))
+    if normalize:
+        dataset, _factor = normalize_min_distance(dataset)
+    return dataset

@@ -1,0 +1,129 @@
+"""Tests for the Section 4 adversarial metric family D = {D_{p*}}."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metrics import AdversaryNotCommittedError, BlockAdversarialMetric
+
+
+@pytest.fixture
+def family():
+    return BlockAdversarialMetric(side=3, copies=2, dim=2)
+
+
+class TestConstruction:
+    def test_sizes(self, family):
+        assert family.block_size == 9
+        assert family.n == 18
+        assert family.query_id == 18
+
+    def test_coordinates_layout(self, family):
+        # Block 0 occupies [0,2]^2; block 1 is shifted by 2s = 6 in dim 0.
+        assert family.coords[:9, 0].max() == 2
+        assert family.coords[9:, 0].min() == 6
+        assert family.coords[9:, 0].max() == 8
+
+    def test_translation_vectors_are_block_members(self, family):
+        for b in range(family.copies):
+            members = family.coords[family.block_members(b)]
+            assert any((family.w_coords[b] == row).all() for row in members)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            BlockAdversarialMetric(side=1, copies=1, dim=1)
+        with pytest.raises(ValueError):
+            BlockAdversarialMetric(side=2, copies=0, dim=1)
+        with pytest.raises(ValueError):
+            BlockAdversarialMetric(side=2, copies=1, dim=0)
+
+
+class TestUncommittedFamily:
+    def test_intra_p_distances_are_linf(self, family):
+        # id 0 = (0,0); id 1 = (0,1); id 4 = (1,1)
+        assert family.distance(0, 1) == 1.0
+        assert family.distance(0, 4) == 1.0
+        assert family.distance(0, 8) == 2.0
+
+    def test_cross_block_distance(self, family):
+        # (0,0) in block 0 vs (6,0) in block 1.
+        assert family.distance(0, 9) == 6.0
+
+    def test_cross_block_at_least_s_plus_1(self, family):
+        for p1 in family.block_members(0):
+            d = family.distances(int(p1), family.block_members(1))
+            assert (d >= family.side + 1).all()
+
+    def test_query_distance_raises_before_commit(self, family):
+        with pytest.raises(AdversaryNotCommittedError):
+            family.distance(0, family.query_id)
+        with pytest.raises(AdversaryNotCommittedError):
+            family.distances(family.query_id, np.array([0, 1]))
+
+    def test_family_members_agree_on_p(self):
+        """Every committed metric gives the same intra-P distances — the
+        information barrier the adversary argument rests on."""
+        base = BlockAdversarialMetric(side=2, copies=2, dim=2)
+        ids = base.point_ids()
+        reference = np.array([base.distances(int(i), ids) for i in ids])
+        for p_star in range(base.n):
+            committed = BlockAdversarialMetric(2, 2, 2, p_star=p_star)
+            got = np.array([committed.distances(int(i), ids) for i in ids])
+            assert np.array_equal(got, reference)
+
+
+class TestCommittedMetric:
+    def test_query_distance_case_analysis(self):
+        m = BlockAdversarialMetric(side=3, copies=2, dim=2, p_star=4)  # block 0
+        q = m.query_id
+        assert m.distance(4, q) == 2.0  # s - 1
+        for p in m.block_members(0):
+            if p != 4:
+                assert m.distance(int(p), q) == 3.0  # s
+        for p in m.block_members(1):
+            # outside the star block: L_inf(p, w*) with w* = (0, 0)
+            want = float(np.abs(m.coords[p]).max())
+            assert m.distance(int(p), q) == want
+
+    def test_query_self_distance_zero(self):
+        m = BlockAdversarialMetric(side=2, copies=1, dim=1, p_star=0)
+        assert m.distance(m.query_id, m.query_id) == 0.0
+
+    def test_nn_of_query_is_p_star(self):
+        for p_star in [0, 5, 13]:
+            m = BlockAdversarialMetric(side=3, copies=2, dim=2, p_star=p_star)
+            d = m.distances(m.query_id, m.point_ids())
+            assert int(np.argmin(d)) == p_star
+            assert d[p_star] == m.side - 1
+            others = np.delete(d, p_star)
+            assert (others >= m.side).all()
+
+    def test_batch_matches_scalar_with_query(self):
+        m = BlockAdversarialMetric(side=3, copies=3, dim=1, p_star=2)
+        everything = np.arange(m.n + 1)
+        for a in [0, 2, int(m.query_id)]:
+            batch = m.distances(a, everything)
+            for i, b in enumerate(everything):
+                assert batch[i] == m.distance(a, int(b))
+
+    @pytest.mark.parametrize("side,copies,dim", [(2, 1, 1), (3, 2, 1), (2, 2, 2)])
+    def test_triangle_inequality_lemma_4_1(self, side, copies, dim):
+        """Appendix D: every D_{p*} is a metric, including the phantom q."""
+        base = BlockAdversarialMetric(side, copies, dim)
+        everything = np.arange(base.n + 1)
+        for p_star in range(base.n):
+            m = BlockAdversarialMetric(side, copies, dim, p_star=p_star)
+            m.check_axioms(everything)
+
+    def test_epsilon_and_doubling_bounds(self):
+        m = BlockAdversarialMetric(side=4, copies=2, dim=3)
+        assert m.theoretical_epsilon() == pytest.approx(1 / 8)
+        assert m.doubling_dimension_bound() == pytest.approx(np.log2(1 + 8))
+
+    def test_aspect_ratio_is_linear_in_n(self):
+        """Section 4's closing remark: diam < 2 s t, min distance 1."""
+        m = BlockAdversarialMetric(side=3, copies=4, dim=2)
+        ids = m.point_ids()
+        diam = max(m.distances(int(i), ids).max() for i in ids)
+        assert diam < 2 * m.side * m.copies

@@ -1,0 +1,101 @@
+"""Tests for Yao cone families (Section 5.1 substrate)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.graphs import ConeFamily, build_cone_family
+
+
+def random_directions(rng, m, dim):
+    v = rng.normal(size=(m, dim))
+    return v / np.linalg.norm(v, axis=1, keepdims=True)
+
+
+class TestBuild2D:
+    def test_cone_count_matches_theta(self):
+        fam = build_cone_family(theta=0.5, dim=2)
+        assert fam.num_cones == math.ceil(2 * math.pi / 0.5)
+        assert fam.angular_diameter <= 0.5 + 1e-12
+
+    def test_covers_all_directions(self, rng):
+        fam = build_cone_family(theta=0.4, dim=2)
+        assert fam.covers(random_directions(rng, 500, 2))
+
+    def test_axes_unit(self):
+        fam = build_cone_family(theta=0.3, dim=2)
+        assert np.allclose(np.linalg.norm(fam.axes, axis=1), 1.0)
+
+    def test_small_theta_many_cones(self):
+        k1 = build_cone_family(0.5, 2).num_cones
+        k2 = build_cone_family(0.05, 2).num_cones
+        assert k2 > 5 * k1
+
+
+class TestBuild1D:
+    def test_two_halflines(self, rng):
+        fam = build_cone_family(theta=0.2, dim=1)
+        assert fam.num_cones == 2
+        assert fam.covers(np.array([[1.0], [-1.0], [0.5], [-7.0]]))
+
+
+class TestBuildND:
+    @pytest.mark.parametrize("dim", [3, 4])
+    def test_covers_random_directions(self, rng, dim):
+        fam = build_cone_family(theta=0.8, dim=dim)
+        assert fam.covers(random_directions(rng, 2000, dim))
+
+    def test_angular_diameter_bound(self, rng):
+        """Any two vectors in the same cone subtend angle <= theta."""
+        theta = 0.8
+        fam = build_cone_family(theta=theta, dim=3)
+        dirs = random_directions(rng, 400, 3)
+        member = fam.membership(dirs)
+        for k in range(fam.num_cones):
+            inside = dirs[member[:, k]]
+            if len(inside) < 2:
+                continue
+            gram = np.clip(inside @ inside.T, -1.0, 1.0)
+            angles = np.arccos(gram)
+            assert angles.max() <= theta + 1e-9
+
+    def test_cone_count_scales_inverse_theta(self):
+        k_coarse = build_cone_family(1.2, 3).num_cones
+        k_fine = build_cone_family(0.6, 3).num_cones
+        assert k_fine > k_coarse
+
+    def test_corner_certificate_refines(self):
+        # Must not loop forever nor under-cover for an awkward theta.
+        fam = build_cone_family(theta=0.33, dim=3)
+        assert fam.num_cones > 0
+
+
+class TestMembership:
+    def test_axis_in_own_cone(self):
+        fam = build_cone_family(theta=0.5, dim=2)
+        member = fam.membership(fam.axes)
+        assert np.all(np.diag(member))
+
+    def test_zero_vector_everywhere(self):
+        fam = build_cone_family(theta=0.5, dim=2)
+        member = fam.membership(np.zeros((1, 2)))
+        assert member.all()
+
+    def test_projections_formula(self, rng):
+        fam = build_cone_family(theta=0.7, dim=3)
+        v = rng.normal(size=(5, 3))
+        proj = fam.projections(v)
+        assert np.allclose(proj, v @ fam.axes.T)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_cone_family(theta=0.0, dim=2)
+        with pytest.raises(ValueError):
+            build_cone_family(theta=4.0, dim=2)
+        with pytest.raises(ValueError):
+            build_cone_family(theta=0.5, dim=0)
+        with pytest.raises(ValueError):
+            ConeFamily(np.array([[2.0, 0.0]]), 0.3)  # non-unit axis

@@ -1,0 +1,101 @@
+"""Tests for the packing bound (Fact 2.3) and doubling estimation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    Dataset,
+    EuclideanMetric,
+    TreeMetric,
+    check_packing,
+    estimate_doubling_constant,
+    greedy_half_radius_cover,
+    packing_bound,
+)
+from repro.nets import greedy_rnet
+
+
+class TestPackingBound:
+    def test_formula(self):
+        assert packing_bound(2.0, 1.0) == pytest.approx(16.0)
+        assert packing_bound(2.0, 2.0) == pytest.approx(256.0)
+
+    def test_rejects_aspect_below_one(self):
+        with pytest.raises(ValueError):
+            packing_bound(0.5, 1.0)
+
+    def test_check_packing(self):
+        assert check_packing(10, 2.0, 1.0)
+        assert not check_packing(17, 2.0, 1.0)
+
+    def test_fact_2_3_on_real_nets(self, uniform2d):
+        """The Section 2.3 degree argument instantiated: points of a
+        2^i-net within phi * 2^i of any center have aspect ratio <= 2*phi,
+        so their count obeys (8 * 2 * phi)^lambda with lambda = 2."""
+        phi = 9.0
+        for i in [1, 2, 3]:
+            net = greedy_rnet(uniform2d, float(2**i))
+            for p in range(0, uniform2d.n, 11):
+                d = uniform2d.distances_from_index(p, net)
+                close = int((d <= phi * 2**i).sum())
+                assert close <= packing_bound(2 * phi, 2.0)
+
+    def test_fact_2_3_on_tree_metric(self, rng):
+        """Doubling dimension 1: subsets of aspect ratio A have O(A) size."""
+        metric = TreeMetric(height=10)
+        ds = Dataset(metric, np.arange(0, 1024, 4, dtype=np.int64))
+        for r in [8.0, 32.0, 128.0]:
+            net = greedy_rnet(ds, r)
+            for p in range(0, ds.n, 37):
+                d = ds.distances_from_index(p, net)
+                close = int((d <= 8 * r).sum())
+                # aspect ratio <= 16, lambda = 1 -> at most 8 * 16 points
+                assert close <= packing_bound(16.0, 1.0)
+
+
+class TestGreedyCover:
+    def test_cover_is_complete(self, uniform2d, rng):
+        center = 5
+        row = uniform2d.distances_from_index_to_all(center)
+        radius = float(np.median(row))
+        members = np.flatnonzero(row <= radius)
+        centers = greedy_half_radius_cover(uniform2d, members, radius)
+        # every member within radius/2 of some chosen center
+        for m in members:
+            d = uniform2d.distances_from_index(
+                int(m), np.array(centers, dtype=np.intp)
+            )
+            assert d.min() <= radius / 2 + 1e-9
+
+    def test_centers_come_from_members(self, uniform2d):
+        row = uniform2d.distances_from_index_to_all(0)
+        members = np.flatnonzero(row <= 20.0)
+        centers = greedy_half_radius_cover(uniform2d, members, 20.0)
+        assert set(centers) <= set(members.tolist())
+
+
+class TestDoublingEstimator:
+    def test_line_lower_than_plane(self, rng):
+        line = np.zeros((100, 2))
+        line[:, 0] = np.sort(rng.uniform(0, 100, size=100))
+        plane = rng.uniform(0, 100, size=(100, 2))
+        e_line = estimate_doubling_constant(
+            Dataset(EuclideanMetric(), line), np.random.default_rng(0), trials=24
+        )
+        e_plane = estimate_doubling_constant(
+            Dataset(EuclideanMetric(), plane), np.random.default_rng(0), trials=24
+        )
+        assert e_line <= e_plane
+
+    def test_tree_metric_estimate_small(self, rng):
+        metric = TreeMetric(height=9)
+        ds = Dataset(metric, np.arange(0, 512, 2, dtype=np.int64))
+        est = estimate_doubling_constant(ds, np.random.default_rng(3), trials=16)
+        # true doubling dimension is 1; greedy covers can double it
+        assert est <= 3.0
+
+    def test_trials_validation(self, uniform2d):
+        with pytest.raises(ValueError):
+            estimate_doubling_constant(uniform2d, np.random.default_rng(0), trials=0)

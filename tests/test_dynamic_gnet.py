@@ -1,0 +1,186 @@
+"""Tests for the incremental G_net extension (online insertions)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import find_violations
+from repro.graphs.dynamic import DynamicGNet
+from repro.metrics import Dataset, EuclideanMetric
+from repro.metrics.scaling import normalize_min_distance
+from repro.workloads import uniform_cube
+
+
+def _normalized_stream(rng, n=80, dim=2):
+    """Coordinates pre-scaled to minimum inter-point distance 2.
+
+    The dynamic index requires the *coordinates* to live in normalized
+    units (its per-level grids equate coordinate radii with metric
+    radii), so we scale the points rather than wrapping the metric.
+    """
+    pts = uniform_cube(n, dim, rng)
+    _, factor = normalize_min_distance(Dataset(EuclideanMetric(), pts))
+    return pts * factor
+
+
+def _fresh_index(points, epsilon=1.0):
+    diam = float(
+        np.linalg.norm(points.max(axis=0) - points.min(axis=0)) * 2.0 + 4.0
+    )
+    return DynamicGNet(
+        EuclideanMetric(),
+        epsilon=epsilon,
+        domain_diameter=diam,
+        dim=points.shape[1],
+    )
+
+
+class TestInsertion:
+    def test_ids_sequential(self, rng):
+        pts = _normalized_stream(rng, 20)
+        index = _fresh_index(pts)
+        ids = index.insert_many(pts)
+        assert ids == list(range(20))
+        assert len(index) == 20
+
+    def test_min_distance_enforced(self, rng):
+        pts = _normalized_stream(rng, 10)
+        index = _fresh_index(pts)
+        index.insert_many(pts)
+        with pytest.raises(ValueError, match="minimum inter-point"):
+            index.insert(pts[0] + 1e-9)
+
+    def test_wrong_shape_rejected(self, rng):
+        pts = _normalized_stream(rng, 5)
+        index = _fresh_index(pts)
+        with pytest.raises(ValueError, match="expected"):
+            index.insert(np.zeros(3))
+
+    def test_capacity_growth(self, rng):
+        pts = _normalized_stream(rng, 40)
+        index = DynamicGNet(
+            EuclideanMetric(), 1.0, domain_diameter=1000.0, dim=2, capacity=4
+        )
+        index.insert_many(pts)
+        assert len(index) == 40
+        assert np.allclose(index.coords, pts)
+
+
+class TestInvariants:
+    def test_nets_valid_after_stream(self, rng):
+        pts = _normalized_stream(rng, 60)
+        index = _fresh_index(pts)
+        index.insert_many(pts)
+        index.check_net_invariants()
+
+    def test_nets_valid_mid_stream(self, rng):
+        pts = _normalized_stream(rng, 50)
+        index = _fresh_index(pts)
+        for k, p in enumerate(pts):
+            index.insert(p)
+            if k in (9, 29, 49):
+                index.check_net_invariants()
+
+    def test_navigable_after_stream(self, rng):
+        eps = 1.0
+        pts = _normalized_stream(rng, 70)
+        index = _fresh_index(pts, epsilon=eps)
+        index.insert_many(pts)
+        ds = index.dataset()
+        graph = index.graph()
+        queries = [rng.uniform(pts.min(), pts.max(), size=2) for _ in range(25)]
+        queries += [pts[i] for i in range(0, 70, 9)]
+        assert find_violations(graph, ds, queries, eps, stop_at=None) == []
+
+    def test_navigable_at_every_prefix(self, rng):
+        """The defining property of the dynamic index: the graph is a
+        valid (1+eps)-PG after *each* insertion, not just at the end."""
+        eps = 1.0
+        pts = _normalized_stream(rng, 30)
+        index = _fresh_index(pts, epsilon=eps)
+        for k, p in enumerate(pts):
+            index.insert(p)
+            if k < 1:
+                continue
+            ds = index.dataset()
+            graph = index.graph()
+            queries = [rng.uniform(pts.min(), pts.max(), size=2) for _ in range(3)]
+            assert find_violations(graph, ds, queries, eps, stop_at=None) == []
+
+    def test_edge_rule_matches_static_definition(self, rng):
+        """At the end of the stream the edge set must equal the static
+        rule evaluated on the dynamic nets (order-dependent nets, same
+        rule)."""
+        pts = _normalized_stream(rng, 40)
+        index = _fresh_index(pts)
+        index.insert_many(pts)
+        ds = index.dataset()
+        want: list[set[int]] = [set() for _ in range(len(index))]
+        for i in range(index.params.height + 1):
+            members = index.level_members(i)
+            radius = index.params.level_radius(i)
+            if len(members) == 0:
+                continue
+            for p in range(len(index)):
+                d = ds.distances_from_index(p, members)
+                for y in members[d <= radius]:
+                    if int(y) != p:
+                        want[p].add(int(y))
+        got = index.graph()
+        for p in range(len(index)):
+            assert set(map(int, got.out_neighbors(p))) == want[p]
+
+
+class TestQueries:
+    def test_query_quality(self, rng):
+        eps = 1.0
+        pts = _normalized_stream(rng, 60)
+        index = _fresh_index(pts, epsilon=eps)
+        index.insert_many(pts)
+        ds = index.dataset()
+        for _ in range(10):
+            q = rng.uniform(pts.min(), pts.max(), size=2)
+            _pid, dist = index.query(q, p_start=int(rng.integers(len(index))))
+            nn = ds.distances_to_query_all(q).min()
+            assert dist <= (1 + eps) * nn + 1e-9
+
+    def test_query_empty_raises(self, rng):
+        pts = _normalized_stream(rng, 5)
+        index = _fresh_index(pts)
+        with pytest.raises(ValueError, match="empty"):
+            index.query(np.zeros(2))
+
+    def test_interleaved_insert_query(self, rng):
+        eps = 1.0
+        pts = _normalized_stream(rng, 40)
+        index = _fresh_index(pts, epsilon=eps)
+        for k, p in enumerate(pts):
+            index.insert(p)
+            if k >= 5 and k % 7 == 0:
+                ds = index.dataset()
+                q = rng.uniform(pts.min(), pts.max(), size=2)
+                _, dist = index.query(q)
+                nn = ds.distances_to_query_all(q).min()
+                assert dist <= (1 + eps) * nn + 1e-9
+
+
+class TestValidation:
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            DynamicGNet(EuclideanMetric(), 1.0, domain_diameter=1.0, dim=2)
+        with pytest.raises(ValueError):
+            DynamicGNet(
+                EuclideanMetric(), 1.0, domain_diameter=10.0, dim=2,
+                min_distance=0.0,
+            )
+
+    def test_domain_diameter_enforced(self, rng):
+        """A point outside the declared domain would silently void the
+        Lemma 2.2 guarantee (h too small) — it must be rejected instead."""
+        index = DynamicGNet(EuclideanMetric(), 1.0, domain_diameter=100.0, dim=2)
+        index.insert(np.array([0.0, 0.0]))
+        index.insert(np.array([40.0, 0.0]))  # within radius 50 of the anchor
+        with pytest.raises(ValueError, match="domain diameter"):
+            index.insert(np.array([80.0, 0.0]))
+        assert len(index) == 2

@@ -1,0 +1,121 @@
+"""Edge-path coverage: branches exercised nowhere else (grid fallback
+scan, theory budgets driving real queries, CLI start pinning, top-level
+re-exports)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.anns import BruteForceANN, GridANN
+from repro.graphs import build_gnet, build_merged_graph, query
+from repro.metrics import Dataset, EuclideanMetric
+from repro.workloads import make_dataset, uniform_cube
+
+
+class TestGridFallbackScan:
+    def test_huge_radius_takes_occupied_cell_scan(self, rng):
+        """A radius spanning vastly more cells than exist must flip to
+        the occupied-cells scan and stay exact."""
+        pts = rng.uniform(0, 10, size=(40, 2))
+        ds = Dataset(EuclideanMetric(), pts)
+        grid = GridANN(ds, cell_size=0.01, point_ids=range(ds.n))  # tiny cells
+        brute = BruteForceANN(ds, point_ids=range(ds.n))
+        q = np.array([5.0, 5.0])
+        got = {i for i, _ in grid.range_search(q, 100.0)}
+        want = {i for i, _ in brute.range_search(q, 100.0)}
+        assert got == want == set(range(40))
+
+    def test_far_query_nearest_terminates(self, rng):
+        pts = rng.uniform(0, 1, size=(20, 2))
+        ds = Dataset(EuclideanMetric(), pts)
+        grid = GridANN(ds, cell_size=0.2, point_ids=range(ds.n))
+        q = np.array([500.0, -300.0])
+        got = grid.nearest(q)
+        want = ds.nearest_neighbor(q)
+        assert got[1] == pytest.approx(want[1])
+
+
+class TestTheoryBudgetsDriveQueries:
+    def test_gnet_query_budget_suffices(self, rng):
+        """The explicit Section 2.3 budget, fed to the paper's budgeted
+        query(), must always land on a (1+eps)-ANN."""
+        eps = 0.5
+        ds = make_dataset(uniform_cube(200, 2, rng))
+        res = build_gnet(ds, epsilon=eps, method="grid")
+        budget = res.params.query_budget(doubling_dimension=2.0)
+        for _ in range(10):
+            q = rng.uniform(-5, 40, size=2)
+            nn = ds.distances_to_query_all(q).min()
+            r = query(res.graph, ds, int(rng.integers(ds.n)), q, budget=budget)
+            assert r.distance <= (1 + eps) * nn + 1e-9
+
+    def test_merged_query_budget_suffices(self, rng):
+        eps = 1.0
+        ds = make_dataset(uniform_cube(150, 2, rng))
+        merged = build_merged_graph(
+            ds, eps, np.random.default_rng(3), theta=0.3
+        )
+        budget = merged.query_budget(doubling_dimension=2.0)
+        for _ in range(8):
+            q = rng.uniform(-5, 40, size=2)
+            nn = ds.distances_to_query_all(q).min()
+            r = query(merged.graph, ds, int(rng.integers(ds.n)), q, budget=budget)
+            assert r.distance <= (1 + eps) * nn + 1e-9
+
+    def test_hop_bound_value(self, rng):
+        ds = make_dataset(uniform_cube(50, 2, rng))
+        res = build_gnet(ds, epsilon=1.0)
+        assert res.params.hop_bound() == res.params.height + 1
+
+
+class TestCliStartPinning:
+    def test_query_with_explicit_start(self, tmp_path, rng, capsys):
+        from repro.cli import main
+
+        pts = uniform_cube(50, 2, rng)
+        pts_path = tmp_path / "p.npy"
+        np.save(pts_path, pts)
+        g_path = tmp_path / "g.npz"
+        main(["build", str(pts_path), str(g_path), "--epsilon", "1.0"])
+        capsys.readouterr()
+        assert main(
+            ["query", str(pts_path), str(g_path), "--q", "0.1", "0.9",
+             "--start", "7"]
+        ) == 0
+        out = json.loads(capsys.readouterr().out)
+        assert out["start"] == 7
+
+    def test_validate_needs_epsilon_without_sidecar(self, tmp_path, rng):
+        from repro.cli import main
+        from repro.graphs import ProximityGraph
+
+        pts = uniform_cube(20, 2, rng)
+        pts_path = tmp_path / "p.npy"
+        np.save(pts_path, pts)
+        g_path = tmp_path / "bare.npz"
+        ProximityGraph(20).save(g_path)  # no sidecar written
+        with pytest.raises(SystemExit, match="epsilon"):
+            main(["validate", str(pts_path), str(g_path)])
+
+
+class TestTopLevelExports:
+    def test_package_all_importable(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_graphs_all_importable(self):
+        import repro.graphs as g
+
+        for name in g.__all__:
+            assert getattr(g, name) is not None
+
+    def test_metrics_all_importable(self):
+        import repro.metrics as m
+
+        for name in m.__all__:
+            assert getattr(m, name) is not None

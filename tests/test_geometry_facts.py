@@ -1,0 +1,150 @@
+"""Numerical verification of the Appendix E geometry (Facts E.1-E.3,
+Lemma E.1) that underpins Lemma 5.1 — the paper's Figures 3-6 territory."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+
+class TestFactE1:
+    """tan(x) <= 2x for 0 <= x <= 1/2."""
+
+    @given(st.floats(0.0, 0.5))
+    @settings(max_examples=200, deadline=None)
+    def test_holds(self, x):
+        assert math.tan(x) <= 2 * x + 1e-12
+
+    def test_fails_beyond_range(self):
+        # The bound is genuinely about the stated range.
+        assert math.tan(1.4) > 2 * 1.4
+
+
+class TestFactE2:
+    """For an isosceles triangle with apex angle gamma in (0, pi/2) and
+    legs of length l: the base is < l * tan(gamma)."""
+
+    @given(
+        st.floats(0.01, math.pi / 2 - 0.01),
+        st.floats(0.1, 100.0),
+        st.integers(2, 5),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_holds_in_rd(self, gamma, length, dim):
+        rng = np.random.default_rng(int(gamma * 1e6) % 2**31)
+        a = rng.normal(size=dim)
+        # two unit directions at angle exactly gamma
+        u = rng.normal(size=dim)
+        u /= np.linalg.norm(u)
+        w = rng.normal(size=dim)
+        w -= (w @ u) * u
+        w /= np.linalg.norm(w)
+        v2 = math.cos(gamma) * u + math.sin(gamma) * w
+        b = a + length * u
+        c = a + length * v2
+        base = np.linalg.norm(b - c)
+        assert base < length * math.tan(gamma) + 1e-9
+
+    def test_chord_formula(self):
+        # 2 sin(g/2) < tan(g) is the inequality inside the proof.
+        for g in np.linspace(0.01, math.pi / 2 - 0.01, 50):
+            assert 2 * math.sin(g / 2) < math.tan(g) + 1e-12
+
+
+class TestFactE3:
+    """(2 + eps) * (2 tan(g) + 1 - cos(g)) < eps for 0 <= g <= eps/32."""
+
+    @given(st.floats(0.001, 1.0), st.floats(0.0, 1.0))
+    @settings(max_examples=300, deadline=None)
+    def test_holds(self, eps, frac):
+        g = frac * eps / 32.0
+        lhs = (2 + eps) * (2 * math.tan(g) + 1 - math.cos(g))
+        assert lhs < eps
+
+    def test_tight_at_upper_end(self):
+        # At g = eps/32 the inequality holds but not by orders of
+        # magnitude — the 1/32 constant is doing real work.
+        eps = 1.0
+        g = eps / 32.0
+        lhs = (2 + eps) * (2 * math.tan(g) + 1 - math.cos(g))
+        assert lhs < eps
+        g_too_big = eps / 2.0
+        lhs_big = (2 + eps) * (2 * math.tan(g_too_big) + 1 - math.cos(g_too_big))
+        assert lhs_big > eps
+
+
+class TestLemmaE1:
+    """Points x on the surface of B(q, r) and y on B(q, (1+eps)r) that are
+    equidistant from p (with L2(p,q) = (1+eps)r) subtend an angle > eps/8
+    at p."""
+
+    @pytest.mark.parametrize("eps", [1.0, 0.5, 0.25])
+    def test_sampled_configurations(self, eps, rng):
+        r = 1.0
+        q = np.zeros(2)
+        failures = 0
+        for _ in range(500):
+            p_dir = rng.normal(size=2)
+            p = q + (1 + eps) * r * p_dir / np.linalg.norm(p_dir)
+            # x on inner sphere, y on outer sphere, equidistant from p:
+            xd = rng.normal(size=2)
+            x = q + r * xd / np.linalg.norm(xd)
+            lpx = np.linalg.norm(p - x)
+            # construct y at distance lpx from p on the outer sphere (if
+            # the two circles intersect)
+            y = _circle_intersection(p, lpx, q, (1 + eps) * r, rng)
+            if y is None:
+                continue
+            vx, vy = x - p, y - p
+            cosang = np.clip(
+                vx @ vy / (np.linalg.norm(vx) * np.linalg.norm(vy)), -1, 1
+            )
+            angle = math.acos(cosang)
+            if angle <= eps / 8:
+                failures += 1
+        assert failures == 0
+
+
+def _circle_intersection(c1, r1, c2, r2, rng):
+    """A point on both circles (c1, r1) and (c2, r2) in the plane, or None."""
+    d = np.linalg.norm(c2 - c1)
+    if d == 0 or d > r1 + r2 or d < abs(r1 - r2):
+        return None
+    a = (r1**2 - r2**2 + d**2) / (2 * d)
+    h2 = r1**2 - a**2
+    if h2 < 0:
+        return None
+    h = math.sqrt(h2)
+    mid = c1 + a * (c2 - c1) / d
+    perp = np.array([-(c2 - c1)[1], (c2 - c1)[0]]) / d
+    return mid + (h if rng.random() < 0.5 else -h) * perp
+
+
+class TestSection52Probability:
+    """The jackpot-condition probability calculation of Section 5.2."""
+
+    def test_sampling_miss_probability(self):
+        """P(no jackpot in l = ceil(ln n * log Delta) samples at rate
+        tau = z / log Delta) <= 1/n^z."""
+        import math as m
+
+        for n, log_delta, z in [(100, 8, 3.0), (1000, 16, 2.0)]:
+            tau = z / log_delta
+            l = m.ceil(m.log(n) * log_delta)
+            miss = (1 - tau) ** l
+            assert miss <= 1.0 / n**z * (1 + 1e-9)
+
+    def test_empirical_jackpot_frequency(self, rng):
+        """Simulate the sampling: long runs of tau-coin flips miss a head
+        within the prescribed window only rarely."""
+        n, log_delta, z = 200, 10, 3.0
+        tau = z / log_delta
+        window = math.ceil(math.log(n) * log_delta)
+        misses = sum(
+            1 for _ in range(2000) if not (rng.random(window) < tau).any()
+        )
+        assert misses <= 2  # expected ~ 2000/n^3, i.e. essentially zero

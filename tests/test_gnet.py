@@ -1,0 +1,211 @@
+"""Tests for the Theorem 1.1 construction (G_net)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.anns import BruteForceANN
+from repro.graphs import build_gnet, find_violations, gnet_parameters, greedy
+from repro.graphs.gnet import GNetParameters
+from repro.metrics import Dataset, EuclideanMetric, TreeMetric
+from tests.conftest import mixed_queries
+
+
+class TestParameters:
+    def test_formulas(self):
+        # eps = 1: eta = ceil(log2 3) = 2, phi = 1 + 2^3 = 9.
+        p = gnet_parameters(1.0, diameter=100.0)
+        assert p.eta == 2
+        assert p.phi == 9.0
+        assert p.height == 7
+
+    def test_eta_grows_with_shrinking_epsilon(self):
+        etas = [gnet_parameters(eps, 16.0).eta for eps in [1.0, 0.5, 0.25, 0.125]]
+        assert etas == sorted(etas)
+        # eps = 1/2: eta = ceil(log2 5) = 3, phi = 17.
+        assert gnet_parameters(0.5, 16.0).phi == 17.0
+
+    def test_phi_at_least_nine(self):
+        # The paper notes eta >= 2 and 9 <= phi = Theta(1/eps).
+        for eps in [1.0, 0.7, 0.3, 0.1, 0.01]:
+            p = gnet_parameters(eps, 64.0)
+            assert p.eta >= 2
+            assert p.phi >= 9.0
+            assert p.phi <= 1 + 8 * (1 + 2 / eps)  # Theta(1/eps) upper ballpark
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gnet_parameters(0.0, 10.0)
+        with pytest.raises(ValueError):
+            gnet_parameters(2.0, 10.0)
+        with pytest.raises(ValueError):
+            gnet_parameters(0.5, 1.0)
+
+    def test_level_radius(self):
+        p = GNetParameters(epsilon=1.0, height=5, eta=2, phi=9.0)
+        assert p.level_radius(0) == 9.0
+        assert p.level_radius(3) == 72.0
+
+    def test_query_budget_positive(self):
+        p = gnet_parameters(0.5, 256.0)
+        assert p.query_budget(doubling_dimension=2.0) > 0
+
+
+class TestEdgeSetDefinition:
+    def test_edges_match_definition(self, uniform2d):
+        """Every edge (p, y) must be witnessed by some level i with
+        y in Y_i and D(p, y) <= phi * 2^i, and conversely."""
+        res = build_gnet(uniform2d, epsilon=1.0, method="vectorized")
+        want: set[tuple[int, int]] = set()
+        for i in range(res.params.height + 1):
+            level = res.hierarchy.level(i)
+            radius = res.params.level_radius(i)
+            for p in range(uniform2d.n):
+                d = uniform2d.distances_from_index(p, level)
+                for y in level[d <= radius]:
+                    if int(y) != p:
+                        want.add((p, int(y)))
+        got = set(res.graph.edges())
+        assert got == want
+
+    def test_methods_agree_vectorized_grid(self, uniform2d):
+        a = build_gnet(uniform2d, epsilon=1.0, method="vectorized")
+        b = build_gnet(uniform2d, epsilon=1.0, method="grid")
+        assert a.graph == b.graph
+
+    def test_methods_agree_vectorized_paper_cover_tree(self, clustered2d):
+        a = build_gnet(clustered2d, epsilon=1.0, method="vectorized")
+        b = build_gnet(clustered2d, epsilon=1.0, method="paper")
+        assert a.graph == b.graph
+
+    def test_methods_agree_paper_bruteforce(self, clustered2d):
+        a = build_gnet(clustered2d, epsilon=1.0, method="vectorized")
+        b = build_gnet(
+            clustered2d,
+            epsilon=1.0,
+            method="paper",
+            ann_factory=lambda ds, ids: BruteForceANN(ds, point_ids=ids),
+        )
+        assert a.graph == b.graph
+
+    def test_auto_dispatch(self, uniform2d):
+        res = build_gnet(uniform2d, epsilon=1.0, method="auto")
+        ref = build_gnet(uniform2d, epsilon=1.0, method="vectorized")
+        assert res.graph == ref.graph
+
+    def test_unknown_method(self, uniform2d):
+        with pytest.raises(ValueError, match="unknown build method"):
+            build_gnet(uniform2d, epsilon=1.0, method="nope")
+
+
+class TestProposition21:
+    def test_min_out_degree_at_least_one(self, uniform2d, clustered2d):
+        for ds in (uniform2d, clustered2d):
+            res = build_gnet(ds, epsilon=0.5)
+            assert res.graph.min_out_degree() >= 1
+
+    def test_no_self_loops(self, uniform2d):
+        res = build_gnet(uniform2d, epsilon=1.0)
+        for u in range(uniform2d.n):
+            assert u not in set(map(int, res.graph.out_neighbors(u)))
+
+
+class TestNavigability:
+    @pytest.mark.parametrize("epsilon", [1.0, 0.5, 0.25])
+    def test_no_violations_on_mixed_queries(self, uniform2d, rng, epsilon):
+        res = build_gnet(uniform2d, epsilon=epsilon)
+        queries = mixed_queries(uniform2d, rng, m=40)
+        assert find_violations(
+            res.graph, uniform2d, queries, epsilon, stop_at=None
+        ) == []
+
+    def test_no_violations_clustered(self, clustered2d, rng):
+        res = build_gnet(clustered2d, epsilon=0.5)
+        queries = mixed_queries(clustered2d, rng, m=40)
+        assert find_violations(
+            res.graph, clustered2d, queries, 0.5, stop_at=None
+        ) == []
+
+    def test_no_violations_3d(self, uniform3d, rng):
+        res = build_gnet(uniform3d, epsilon=1.0)
+        queries = [rng.uniform(-5, 30, size=3) for _ in range(25)]
+        assert find_violations(
+            res.graph, uniform3d, queries, 1.0, stop_at=None
+        ) == []
+
+    def test_on_tree_metric(self, rng):
+        metric = TreeMetric(height=9)
+        leaves = np.sort(rng.choice(metric.num_leaves, size=60, replace=False))
+        ds = Dataset(metric, leaves.astype(np.int64))
+        res = build_gnet(ds, epsilon=1.0, method="vectorized")
+        queries = rng.integers(0, metric.num_leaves, size=60).tolist()
+        assert find_violations(res.graph, ds, queries, 1.0, stop_at=None) == []
+
+
+class TestQueryTimeTheory:
+    def test_greedy_hits_ann_within_h_hops(self, uniform2d, rng):
+        """Lemma 2.2's log-drop: within h non-ANN hops greedy reaches a
+        (1+eps)-ANN (then keeps improving)."""
+        eps = 0.5
+        res = build_gnet(uniform2d, epsilon=eps)
+        h = res.params.height
+        for _ in range(20):
+            q = rng.uniform(-5, 30, size=2)
+            nn_dist = uniform2d.distances_to_query_all(q).min()
+            start = int(rng.integers(uniform2d.n))
+            result = greedy(res.graph, uniform2d, start, q)
+            ann_positions = [
+                k
+                for k, p in enumerate(result.hops)
+                if uniform2d.distance_to_query(q, p) <= (1 + eps) * nn_dist + 1e-12
+            ]
+            assert ann_positions, "greedy never reached a (1+eps)-ANN"
+            assert ann_positions[0] <= h + 1
+
+    def test_log_drop_property_along_trace(self, uniform2d, rng):
+        """Inequality (12): between consecutive non-ANN hop vertices the
+        value ceil(log2 D(p, p*)) strictly decreases."""
+        eps = 0.5
+        res = build_gnet(uniform2d, epsilon=eps)
+        for _ in range(15):
+            q = rng.uniform(-5, 30, size=2)
+            dists = uniform2d.distances_to_query_all(q)
+            p_star = int(np.argmin(dists))
+            nn_dist = float(dists[p_star])
+            start = int(rng.integers(uniform2d.n))
+            trace = greedy(res.graph, uniform2d, start, q).hops
+            logs = []
+            for p in trace:
+                if uniform2d.distance_to_query(q, p) > (1 + eps) * nn_dist + 1e-12:
+                    d = uniform2d.distance(p, p_star)
+                    logs.append(math.ceil(math.log2(d)) if d > 0 else -math.inf)
+            assert all(a > b for a, b in zip(logs, logs[1:]))
+
+    def test_max_degree_within_packing_bound(self, uniform2d):
+        """Fact 2.3 degree analysis: out-degree <= (h+1) * (16 phi)^lambda
+        with lambda ~ 2 for planar data (loose, but must hold)."""
+        res = build_gnet(uniform2d, epsilon=1.0)
+        bound = res.params.out_degree_bound(doubling_dimension=2.0)
+        assert res.graph.max_out_degree() <= bound
+
+
+class TestDiameterEstimates:
+    def test_explicit_diameter_accepted(self, uniform2d):
+        exact = uniform2d.diameter()
+        res = build_gnet(uniform2d, epsilon=1.0, diameter=exact)
+        assert res.params.height == math.ceil(math.log2(exact))
+
+    def test_default_estimate_at_least_true_height(self, uniform2d):
+        res = build_gnet(uniform2d, epsilon=1.0)
+        assert res.params.height >= math.ceil(math.log2(uniform2d.diameter()))
+
+    def test_level_bookkeeping(self, uniform2d):
+        res = build_gnet(uniform2d, epsilon=1.0)
+        assert len(res.level_sizes) == res.params.height + 1
+        assert len(res.level_edge_counts) == res.params.height + 1
+        assert sum(res.level_edge_counts) == res.graph.num_edges
+        assert res.level_sizes[0] == uniform2d.n
+        assert res.level_sizes[-1] >= 1

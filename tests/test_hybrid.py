@@ -1,0 +1,79 @@
+"""Tests for the open-question probe structure (repro.graphs.hybrid)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import build_gnet
+from repro.graphs.hybrid import build_hybrid_candidate, probe_open_question
+from repro.workloads import make_dataset, uniform_cube, uniform_queries
+
+
+class TestStructure:
+    def test_edge_split_accounting(self, rng):
+        ds = make_dataset(uniform_cube(100, 2, rng))
+        res = build_hybrid_candidate(ds, epsilon=1.0)
+        assert res.spine_edges + res.lateral_edges >= res.graph.num_edges
+        assert res.graph.num_edges > 0
+
+    def test_spine_is_log_delta_per_point(self, rng):
+        """Spine edges are at most 2 per (point, level-above-own) pair."""
+        ds = make_dataset(uniform_cube(100, 2, rng))
+        res = build_hybrid_candidate(ds, epsilon=1.0)
+        h = res.params.height
+        assert res.spine_edges <= 2 * ds.n * (h + 1)
+
+    def test_laterals_bounded_by_own_level_packing(self, rng):
+        """Each point's laterals live in one net level within phi*2^l: the
+        packing bound applies per point."""
+        from repro.metrics import packing_bound
+
+        ds = make_dataset(uniform_cube(120, 2, rng))
+        res = build_hybrid_candidate(ds, epsilon=1.0)
+        bound = packing_bound(2 * res.params.phi, 2.0)
+        assert res.lateral_edges <= ds.n * bound
+
+    def test_top_levels_consistent_with_hierarchy(self, rng):
+        ds = make_dataset(uniform_cube(80, 2, rng))
+        res = build_hybrid_candidate(ds, epsilon=1.0)
+        for i in range(res.params.height + 1):
+            members = set(map(int, res.hierarchy.level(i)))
+            for p in range(ds.n):
+                assert (res.top_level[p] >= i) == (p in members)
+
+    def test_smaller_than_gnet(self, rng):
+        ds = make_dataset(uniform_cube(150, 2, rng))
+        hybrid = build_hybrid_candidate(ds, epsilon=1.0)
+        gnet = build_gnet(ds, epsilon=1.0)
+        assert hybrid.graph.num_edges < gnet.graph.num_edges
+
+    def test_deterministic(self, rng):
+        ds = make_dataset(uniform_cube(60, 2, rng))
+        a = build_hybrid_candidate(ds, epsilon=1.0)
+        b = build_hybrid_candidate(ds, epsilon=1.0)
+        assert a.graph == b.graph
+
+
+class TestProbe:
+    def test_report_fields(self, rng):
+        ds = make_dataset(uniform_cube(80, 2, rng))
+        queries = list(uniform_queries(20, np.asarray(ds.points), rng))
+        report = probe_open_question(ds, 1.0, queries, gnet_edges=12345)
+        for key in [
+            "edges", "spine_edges", "lateral_edges", "open_question_budget",
+            "within_budget", "violations", "vs_gnet",
+        ]:
+            assert key in report
+        assert report["within_budget"]
+
+    def test_probe_does_not_claim_the_theorem(self, rng):
+        """The probe must *report* violations rather than hide them: on a
+        near-data query batch we expect (and tolerate) failures — the
+        structure is a question, not an answer."""
+        ds = make_dataset(uniform_cube(200, 2, np.random.default_rng(5)))
+        pts = np.asarray(ds.points)
+        queries = [pts[i] * (1 + 1e-9) for i in range(0, 200, 4)]
+        report = probe_open_question(ds, 1.0, queries)
+        assert report["violations"] >= 0  # field present and countable
+        assert report["queries"] == len(queries)

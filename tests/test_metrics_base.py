@@ -1,0 +1,126 @@
+"""Unit tests for the metric-space substrate (repro.metrics.base)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    Dataset,
+    EuclideanMetric,
+    ExplicitMatrixMetric,
+    ScaledMetric,
+)
+
+
+class TestDataset:
+    def test_rejects_single_point(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            Dataset(EuclideanMetric(), np.zeros((1, 2)))
+
+    def test_index_distance_matches_metric(self, rng):
+        pts = rng.normal(size=(10, 3))
+        ds = Dataset(EuclideanMetric(), pts)
+        assert ds.distance(2, 7) == pytest.approx(np.linalg.norm(pts[2] - pts[7]))
+
+    def test_distances_from_index_batches(self, rng):
+        pts = rng.normal(size=(12, 2))
+        ds = Dataset(EuclideanMetric(), pts)
+        idx = np.array([0, 3, 5])
+        got = ds.distances_from_index(4, idx)
+        want = [np.linalg.norm(pts[4] - pts[i]) for i in idx]
+        assert np.allclose(got, want)
+
+    def test_query_distances(self, rng):
+        pts = rng.normal(size=(9, 2))
+        ds = Dataset(EuclideanMetric(), pts)
+        q = np.array([5.0, -1.0])
+        assert np.allclose(
+            ds.distances_to_query_all(q),
+            np.linalg.norm(pts - q, axis=1),
+        )
+
+    def test_nearest_neighbor_exact(self, rng):
+        pts = rng.normal(size=(30, 2))
+        ds = Dataset(EuclideanMetric(), pts)
+        q = rng.normal(size=2)
+        nn, d = ds.nearest_neighbor(q)
+        dists = np.linalg.norm(pts - q, axis=1)
+        assert nn == int(np.argmin(dists))
+        assert d == pytest.approx(dists.min())
+
+    def test_diameter_and_min_distance(self):
+        pts = np.array([[0.0, 0.0], [3.0, 0.0], [0.0, 4.0]])
+        ds = Dataset(EuclideanMetric(), pts)
+        assert ds.diameter() == pytest.approx(5.0)
+        assert ds.min_interpoint_distance() == pytest.approx(3.0)
+        assert ds.aspect_ratio() == pytest.approx(5.0 / 3.0)
+
+
+class TestScaledMetric:
+    def test_scales_distances(self):
+        inner = EuclideanMetric()
+        scaled = ScaledMetric(inner, 2.5)
+        a, b = np.array([0.0, 0.0]), np.array([1.0, 0.0])
+        assert scaled.distance(a, b) == pytest.approx(2.5)
+
+    def test_scales_batches(self, rng):
+        pts = rng.normal(size=(6, 2))
+        scaled = ScaledMetric(EuclideanMetric(), 3.0)
+        got = scaled.distances(pts[0], pts)
+        assert np.allclose(got, 3.0 * np.linalg.norm(pts - pts[0], axis=1))
+
+    def test_rejects_nonpositive_factor(self):
+        with pytest.raises(ValueError):
+            ScaledMetric(EuclideanMetric(), 0.0)
+
+    def test_preserves_axioms(self, rng):
+        pts = rng.normal(size=(8, 2))
+        ScaledMetric(EuclideanMetric(), 7.0).check_axioms(pts)
+
+
+class TestExplicitMatrixMetric:
+    def test_basic_lookup(self):
+        mat = np.array([[0.0, 1.0, 2.0], [1.0, 0.0, 1.5], [2.0, 1.5, 0.0]])
+        m = ExplicitMatrixMetric(mat, validate_triangle=True)
+        assert m.distance(0, 2) == 2.0
+        assert np.allclose(m.distances(1, np.array([0, 2])), [1.0, 1.5])
+
+    def test_rejects_asymmetric(self):
+        mat = np.array([[0.0, 1.0], [2.0, 0.0]])
+        with pytest.raises(ValueError, match="symmetric"):
+            ExplicitMatrixMetric(mat)
+
+    def test_rejects_nonzero_diagonal(self):
+        mat = np.array([[1.0, 1.0], [1.0, 0.0]])
+        with pytest.raises(ValueError, match="diagonal"):
+            ExplicitMatrixMetric(mat)
+
+    def test_rejects_negative(self):
+        mat = np.array([[0.0, -1.0], [-1.0, 0.0]])
+        with pytest.raises(ValueError, match="non-negative"):
+            ExplicitMatrixMetric(mat)
+
+    def test_triangle_validation_catches_violation(self):
+        # D(0,2)=10 but D(0,1)+D(1,2)=2: not a metric.
+        mat = np.array([[0.0, 1.0, 10.0], [1.0, 0.0, 1.0], [10.0, 1.0, 0.0]])
+        with pytest.raises(AssertionError, match="triangle"):
+            ExplicitMatrixMetric(mat, validate_triangle=True)
+
+
+class TestAxiomChecker:
+    def test_passes_on_euclidean(self, rng):
+        EuclideanMetric().check_axioms(rng.normal(size=(10, 3)))
+
+    def test_detects_triangle_violation(self):
+        from repro.metrics import MetricSpace
+
+        class Squared(MetricSpace):
+            """Squared Euclidean distance — famously not a metric."""
+
+            def distance(self, a, b):
+                return float(np.sum((np.asarray(a) - np.asarray(b)) ** 2))
+
+        pts = np.array([[0.0], [1.0], [2.0]])
+        with pytest.raises(AssertionError, match="triangle"):
+            Squared().check_axioms(pts)

@@ -1,0 +1,132 @@
+"""Tests for theta-graphs (Section 5.1) and Lemma 5.1."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    build_cone_family,
+    build_theta_graph,
+    find_violations,
+    theta_for_epsilon,
+)
+from repro.metrics import Dataset, EuclideanMetric
+from tests.conftest import mixed_queries
+
+
+class TestThetaForEpsilon:
+    def test_lemma_5_1_angle(self):
+        assert theta_for_epsilon(1.0) == pytest.approx(1 / 32)
+        assert theta_for_epsilon(0.5) == pytest.approx(1 / 64)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            theta_for_epsilon(0.0)
+
+
+class TestEdgeDefinition:
+    def test_nearest_point_on_ray_bruteforce(self, rng):
+        """Each edge target must minimize the projection onto the cone's
+        designated ray among the cone's members — checked from scratch."""
+        pts = rng.uniform(0, 100, size=(40, 2))
+        ds = Dataset(EuclideanMetric(), pts)
+        fam = build_cone_family(theta=0.7, dim=2)
+        res = build_theta_graph(ds, theta=0.7, method="vectorized", cones=fam)
+        cos_half = np.cos(fam.half_angle)
+        for p in range(ds.n):
+            want: set[int] = set()
+            diff = pts - pts[p]
+            norms = np.linalg.norm(diff, axis=1)
+            for k in range(fam.num_cones):
+                proj = diff @ fam.axes[k]
+                inside = (proj >= cos_half * norms - 1e-12) & (norms > 0)
+                if inside.any():
+                    cand = np.flatnonzero(inside)
+                    want.add(int(cand[np.argmin(proj[cand])]))
+            assert set(map(int, res.graph.out_neighbors(p))) == want
+
+    def test_sweep_matches_vectorized(self, rng):
+        pts = rng.uniform(0, 50, size=(120, 2))
+        ds = Dataset(EuclideanMetric(), pts)
+        a = build_theta_graph(ds, theta=0.5, method="sweep")
+        b = build_theta_graph(ds, theta=0.5, method="vectorized", cones=a.cones)
+        assert a.graph == b.graph
+
+    def test_sweep_matches_vectorized_fine_angle(self, rng):
+        pts = rng.normal(size=(80, 2)) * 10
+        ds = Dataset(EuclideanMetric(), pts)
+        a = build_theta_graph(ds, theta=0.12, method="sweep")
+        b = build_theta_graph(ds, theta=0.12, method="vectorized", cones=a.cones)
+        assert a.graph == b.graph
+
+    def test_out_degree_bounded_by_cone_count(self, rng):
+        pts = rng.uniform(size=(60, 2)) * 30
+        ds = Dataset(EuclideanMetric(), pts)
+        res = build_theta_graph(ds, theta=0.4)
+        assert res.graph.max_out_degree() <= res.cones.num_cones
+
+    def test_edges_linear_in_n(self, rng):
+        """O((1/theta)^(d-1) * n) edges — no log Delta factor."""
+        theta = 0.4
+        counts = {}
+        for n in [50, 100, 200]:
+            pts = rng.uniform(size=(n, 2)) * 100
+            ds = Dataset(EuclideanMetric(), pts)
+            counts[n] = build_theta_graph(ds, theta=theta).graph.num_edges
+        assert counts[200] <= 2 * counts[100] * 1.5
+        assert counts[100] <= 2 * counts[50] * 1.5
+
+    def test_sweep_requires_2d(self, rng):
+        pts = rng.uniform(size=(10, 3))
+        ds = Dataset(EuclideanMetric(), pts)
+        with pytest.raises(ValueError, match="2-D"):
+            build_theta_graph(ds, theta=0.5, method="sweep")
+
+    def test_requires_coordinates(self):
+        from repro.metrics import TreeMetric
+
+        ds = Dataset(TreeMetric(4), np.arange(16, dtype=np.int64))
+        with pytest.raises(ValueError, match="coordinate"):
+            build_theta_graph(ds, theta=0.5)
+
+
+class TestLemma51Navigability:
+    def test_theta_graph_is_proximity_graph(self, rng):
+        """Lemma 5.1: the (eps/32)-graph is (1+eps)-navigable.  Full
+        prescribed angle on a small input (202 cones at eps=1)."""
+        eps = 1.0
+        pts = rng.uniform(0, 40, size=(50, 2))
+        ds = Dataset(EuclideanMetric(), pts)
+        res = build_theta_graph(ds, theta=theta_for_epsilon(eps), method="sweep")
+        queries = mixed_queries(ds, rng, m=24)
+        assert find_violations(res.graph, ds, queries, eps, stop_at=None) == []
+
+    def test_3d_theta_graph_navigable_generous_angle(self, rng):
+        """In 3-D with a moderate angle the graph is still navigable at a
+        correspondingly generous epsilon (theta = eps/32)."""
+        eps = 1.0
+        pts = rng.uniform(0, 20, size=(35, 3))
+        ds = Dataset(EuclideanMetric(), pts)
+        res = build_theta_graph(ds, theta=theta_for_epsilon(eps), method="vectorized")
+        queries = [rng.uniform(-5, 25, size=3) for _ in range(10)]
+        assert find_violations(res.graph, ds, queries, eps, stop_at=None) == []
+
+    def test_huge_angle_eventually_fails(self, rng):
+        """Ablation sanity: with absurdly wide cones (theta >> eps/32) the
+        navigability guarantee must eventually break on some input.
+
+        We use the known bad configuration for coarse theta-graphs: points
+        on a circle arc where the cone's nearest-on-ray choice walks away
+        from the query."""
+        eps = 0.05
+        # Adversarial-ish: dense ring + center cluster.
+        angles = np.linspace(0, 2 * np.pi, 60, endpoint=False)
+        ring = np.stack([np.cos(angles), np.sin(angles)], axis=1) * 100
+        inner = rng.normal(size=(20, 2))
+        ds = Dataset(EuclideanMetric(), np.vstack([ring, inner]))
+        res = build_theta_graph(ds, theta=2.0, method="vectorized")
+        queries = mixed_queries(ds, rng, m=40)
+        assert (
+            find_violations(res.graph, ds, queries, eps, stop_at=1) != []
+        ), "expected the far-too-coarse theta-graph to violate somewhere"

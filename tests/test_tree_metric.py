@@ -1,0 +1,122 @@
+"""Tests for the Section 3 tree metric (ultrametric on binary-tree leaves)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import Dataset, TreeMetric, lca_level
+
+
+class TestLcaLevel:
+    def test_siblings(self):
+        assert lca_level(0, 1) == 1
+
+    def test_cousins(self):
+        assert lca_level(0, 2) == 2
+        assert lca_level(1, 3) == 2
+
+    def test_opposite_halves(self):
+        assert lca_level(0, 8) == 4
+
+    @given(st.integers(0, 1023), st.integers(0, 1023))
+    @settings(max_examples=100, deadline=None)
+    def test_matches_bit_definition(self, v1, v2):
+        assert lca_level(v1, v2) == (v1 ^ v2).bit_length()
+
+
+class TestTreeMetric:
+    def test_distance_is_power_of_two_of_lca_level(self):
+        m = TreeMetric(height=5)
+        assert m.distance(0, 1) == 2.0
+        assert m.distance(0, 2) == 4.0
+        assert m.distance(0, 16) == 32.0
+        assert m.distance(7, 7) == 0.0
+
+    def test_path_weight_interpretation(self):
+        # Leaf edges weigh 1, the level-(l) edge weighs 2^(l-1); the
+        # closed form must match the explicit path sum.
+        m = TreeMetric(height=4)
+        for v1, v2 in [(0, 1), (0, 3), (5, 12), (0, 15)]:
+            level = lca_level(v1, v2)
+            path = 2 * (1 + sum(2 ** (k - 1) for k in range(1, level)))
+            assert m.distance(v1, v2) == path
+
+    def test_batch_matches_scalar(self, rng):
+        m = TreeMetric(height=8)
+        leaves = rng.integers(0, m.num_leaves, size=40)
+        a = int(leaves[0])
+        batch = m.distances(a, leaves)
+        for i, b in enumerate(leaves):
+            assert batch[i] == m.distance(a, int(b))
+
+    def test_min_interpoint_distance_is_two(self):
+        m = TreeMetric(height=3)
+        ds = Dataset(m, np.arange(m.num_leaves))
+        assert ds.min_interpoint_distance() == 2.0
+        assert ds.diameter() == 2.0**3
+
+    def test_rejects_bad_height(self):
+        with pytest.raises(ValueError):
+            TreeMetric(height=0)
+        with pytest.raises(ValueError):
+            TreeMetric(height=70)
+
+    def test_rejects_out_of_range_leaf(self):
+        m = TreeMetric(height=3)
+        with pytest.raises(ValueError):
+            m.distance(0, 8)
+
+    @given(st.integers(0, 255), st.integers(0, 255), st.integers(0, 255))
+    @settings(max_examples=100, deadline=None)
+    def test_ultrametric_inequality(self, a, b, c):
+        """Strong triangle inequality: D(a,b) <= max(D(a,c), D(b,c))."""
+        m = TreeMetric(height=8)
+        assert m.distance(a, b) <= max(m.distance(a, c), m.distance(b, c))
+
+    def test_axioms_on_sample(self, rng):
+        m = TreeMetric(height=10)
+        leaves = rng.choice(m.num_leaves, size=20, replace=False)
+        m.check_axioms(leaves.astype(np.int64))
+
+    def test_doubling_dimension_constant(self):
+        assert TreeMetric.DOUBLING_DIMENSION == 1.0
+
+    def test_ball_splits_into_two_half_balls(self, rng):
+        """Appendix C's argument, checked concretely: every ball equals a
+        subtree's leaves and is covered by two balls of half radius."""
+        m = TreeMetric(height=6)
+        all_leaves = np.arange(m.num_leaves)
+        for _ in range(20):
+            p = int(rng.integers(m.num_leaves))
+            level = int(rng.integers(1, 7))
+            r = float(2**level)
+            ball = all_leaves[m.distances(p, all_leaves) <= r]
+            # two children subtrees' leftmost leaves as half-ball centers
+            prefix = p >> level
+            left = (prefix << 1) << (level - 1)
+            right = ((prefix << 1) | 1) << (level - 1)
+            cover = set()
+            for c in (left, right):
+                cover.update(all_leaves[m.distances(c, all_leaves) <= r / 2])
+            assert set(ball).issubset(cover)
+
+
+class TestTreeNavigationHelpers:
+    def test_subtree_leaves(self):
+        m = TreeMetric(height=4)
+        leaves = m.subtree_leaves(2, 1)  # node at level 2, prefix 1
+        assert list(leaves) == [4, 5, 6, 7]
+
+    def test_leftmost_leaf(self):
+        m = TreeMetric(height=4)
+        assert m.leftmost_leaf_of_subtree(3, 1) == 8
+
+    def test_ancestor_prefix_roundtrip(self):
+        m = TreeMetric(height=5)
+        for leaf in [0, 7, 19, 31]:
+            for level in range(6):
+                prefix = m.ancestor_prefix(leaf, level)
+                assert leaf in set(m.subtree_leaves(level, prefix))

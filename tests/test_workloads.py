@@ -1,0 +1,116 @@
+"""Tests for the synthetic workload and query generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metrics import Dataset, EuclideanMetric, estimate_doubling_constant
+from repro.workloads import (
+    data_queries,
+    exponential_line,
+    far_queries,
+    gaussian_clusters,
+    geometric_clusters,
+    grid_points,
+    low_doubling_curve,
+    make_dataset,
+    near_data_queries,
+    uniform_cube,
+    uniform_queries,
+)
+
+
+class TestPointGenerators:
+    def test_shapes(self, rng):
+        assert uniform_cube(50, 3, rng).shape == (50, 3)
+        assert gaussian_clusters(40, 2, rng).shape == (40, 2)
+        assert geometric_clusters(30, 2, rng).shape == (30, 2)
+        assert exponential_line(10, rng).shape == (10, 2)
+        assert low_doubling_curve(25, 6, rng).shape == (25, 6)
+
+    def test_deterministic_under_seed(self):
+        a = uniform_cube(20, 2, np.random.default_rng(4))
+        b = uniform_cube(20, 2, np.random.default_rng(4))
+        assert np.array_equal(a, b)
+
+    def test_grid_points(self):
+        g = grid_points(3, 2, spacing=2.0)
+        assert g.shape == (9, 2)
+        assert g.max() == 4.0
+        ds = Dataset(EuclideanMetric(), g)
+        assert ds.min_interpoint_distance() == pytest.approx(2.0)
+
+    def test_geometric_clusters_aspect_ratio_grows_with_levels(self, rng):
+        ars = []
+        for levels in [2, 4, 6]:
+            pts = geometric_clusters(60, 2, np.random.default_rng(11), levels=levels)
+            ds = Dataset(EuclideanMetric(), pts)
+            ars.append(ds.aspect_ratio())
+        assert ars[0] < ars[1] < ars[2]
+
+    def test_exponential_line_extreme_aspect_ratio(self, rng):
+        pts = exponential_line(12, rng)
+        ds = Dataset(EuclideanMetric(), pts)
+        assert ds.aspect_ratio() > 2.0**8
+
+    def test_low_doubling_curve_has_small_doubling_constant(self, rng):
+        curve = low_doubling_curve(150, 8, rng)
+        cube = uniform_cube(150, 8, rng)
+        est_curve = estimate_doubling_constant(
+            Dataset(EuclideanMetric(), curve), np.random.default_rng(1), trials=24
+        )
+        est_cube = estimate_doubling_constant(
+            Dataset(EuclideanMetric(), cube), np.random.default_rng(1), trials=24
+        )
+        assert est_curve < est_cube
+
+    def test_geometric_levels_validation(self, rng):
+        with pytest.raises(ValueError):
+            geometric_clusters(10, 2, rng, levels=0)
+
+
+class TestMakeDataset:
+    def test_normalizes_to_min_distance_two(self, rng):
+        ds = make_dataset(uniform_cube(30, 2, rng))
+        assert ds.min_interpoint_distance() == pytest.approx(2.0)
+
+    def test_no_normalize_option(self, rng):
+        pts = uniform_cube(30, 2, rng)
+        ds = make_dataset(pts, normalize=False)
+        assert ds.min_interpoint_distance() < 2.0
+
+
+class TestQueryGenerators:
+    def test_uniform_queries_in_inflated_box(self, rng):
+        pts = uniform_cube(40, 2, rng) * 10
+        qs = uniform_queries(100, pts, rng, margin=0.1)
+        lo, hi = pts.min(axis=0), pts.max(axis=0)
+        pad = (hi - lo) * 0.1
+        assert (qs >= lo - pad - 1e-9).all() and (qs <= hi + pad + 1e-9).all()
+
+    def test_near_data_queries_close(self, rng):
+        pts = uniform_cube(40, 2, rng)
+        qs = near_data_queries(50, pts, rng, noise=0.01)
+        ds = Dataset(EuclideanMetric(), pts)
+        diag = np.linalg.norm(pts.max(axis=0) - pts.min(axis=0))
+        for q in qs:
+            assert ds.nearest_neighbor(q)[1] < diag
+
+    def test_far_queries_actually_far(self, rng):
+        pts = uniform_cube(40, 2, rng)
+        qs = far_queries(20, pts, rng, factor=4.0)
+        diag = np.linalg.norm(pts.max(axis=0) - pts.min(axis=0))
+        ds = Dataset(EuclideanMetric(), pts)
+        for q in qs:
+            assert ds.nearest_neighbor(q)[1] > diag
+
+    def test_data_queries_are_data_points(self, rng):
+        pts = uniform_cube(40, 2, rng)
+        qs = data_queries(10, pts, rng)
+        pt_set = {tuple(p) for p in pts}
+        assert all(tuple(q) in pt_set for q in qs)
+
+    def test_data_queries_capped_at_n(self, rng):
+        pts = uniform_cube(5, 2, rng)
+        assert len(data_queries(50, pts, rng)) == 5
