@@ -12,7 +12,6 @@ import numpy as np
 
 from benchmarks.conftest import write_table
 from repro.graphs import build_theta_graph, find_violations, theta_for_epsilon
-from repro.metrics import Dataset, EuclideanMetric
 from repro.workloads import make_dataset, uniform_cube, uniform_queries
 
 EPS = 0.25

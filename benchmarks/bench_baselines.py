@@ -14,7 +14,7 @@ import time
 import numpy as np
 
 from benchmarks.conftest import write_table
-from repro.core import build, measure_queries
+from repro.core import build, compute_ground_truth, measure_queries
 from repro.workloads import gaussian_clusters, make_dataset, uniform_queries
 
 EPS = 1.0
@@ -24,6 +24,8 @@ N = 1000
 def test_baseline_comparison(benchmark, bench_rng):
     ds = make_dataset(gaussian_clusters(N, 2, np.random.default_rng(1), clusters=8))
     queries = list(uniform_queries(80, np.asarray(ds.points), bench_rng))
+    # One exact-NN scan serves every builder below.
+    gt = compute_ground_truth(ds, queries)
 
     configs = [
         ("gnet", {}),
@@ -41,7 +43,7 @@ def test_baseline_comparison(benchmark, bench_rng):
         t0 = time.perf_counter()
         built = build(name, ds, EPS, rng, **opts)
         build_s = time.perf_counter() - t0
-        stats = measure_queries(built.graph, ds, queries, epsilon=EPS)
+        stats = measure_queries(built.graph, ds, queries, epsilon=EPS, ground_truth=gt)
         rows.append(
             [
                 name + ("*" if built.guaranteed else ""),

@@ -1,0 +1,165 @@
+"""E9 — throughput of the lockstep batch engine vs the scalar greedy
+loop.
+
+The paper's accounting (distance evaluations) is identical for both
+engines — ``greedy_batch`` is bit-identical to per-query ``greedy`` —
+so this bench measures pure wall-clock throughput: how much Python
+per-hop overhead the CSR gather + segmented ``distances_many`` path
+removes.  Two regimes:
+
+* a cross-builder table (gnet / merged / hnsw / vamana) on one clustered
+  workload — dense guaranteed graphs are arithmetic-bound and gain
+  little, degree-capped graphs gain the most;
+* the headline 10k-point Euclidean workload on the degree-capped
+  builder, where the bench records (and asserts) the >= 5x speedup in
+  ``results/batch_throughput.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+
+from benchmarks.conftest import RESULTS_DIR, write_table
+from repro.core import build, compute_ground_truth, measure_queries
+from repro.graphs import greedy, greedy_batch
+from repro.workloads import gaussian_clusters, make_dataset, uniform_cube, uniform_queries
+
+EPS = 1.0
+
+
+def _throughput(graph, dataset, queries, starts) -> dict:
+    """Time both engines on the same (queries, starts) and check equality."""
+    t0 = time.perf_counter()
+    batch = greedy_batch(graph, dataset, starts, queries)
+    batch_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    scalar = [
+        greedy(graph, dataset, int(s), q) for q, s in zip(queries, starts)
+    ]
+    scalar_s = time.perf_counter() - t0
+    identical = all(
+        a.point == b.point
+        and a.distance == b.distance
+        and a.hops == b.hops
+        and a.distance_evals == b.distance_evals
+        for a, b in zip(scalar, batch)
+    )
+    return {
+        "queries": len(queries),
+        "scalar_qps": len(queries) / scalar_s,
+        "batch_qps": len(queries) / batch_s,
+        "speedup": scalar_s / batch_s,
+        "mean_evals": float(np.mean([r.distance_evals for r in batch])),
+        "identical": identical,
+    }
+
+
+def test_engines_across_builders(benchmark, bench_rng):
+    """Scalar vs batch QPS for every major builder on one workload."""
+    n = 2000
+    ds = make_dataset(gaussian_clusters(n, 2, np.random.default_rng(1), clusters=8))
+    points = np.asarray(ds.points)
+    queries = uniform_queries(400, points, bench_rng)
+    starts = bench_rng.integers(ds.n, size=len(queries))
+    gt = compute_ground_truth(ds, queries)
+
+    configs = [
+        ("gnet", {}),
+        ("merged", {"theta": 0.25, "gnet_method": "grid", "theta_method": "sweep"}),
+        ("hnsw", {"m": 8, "ef_construction": 64}),
+        ("vamana", {"max_degree": 32}),
+    ]
+    rows, records = [], {}
+    for name, opts in configs:
+        built = build(name, ds, EPS, np.random.default_rng(42), **opts)
+        r = _throughput(built.graph, ds, queries, starts)
+        assert r["identical"], f"{name}: batch engine diverged from scalar greedy"
+        stats = measure_queries(
+            built.graph, ds, queries, epsilon=EPS, ground_truth=gt,
+            starts=starts,
+        )
+        records[name] = {k: round(v, 1) if isinstance(v, float) else v
+                         for k, v in r.items()}
+        rows.append(
+            [
+                name,
+                round(built.graph.mean_out_degree(), 1),
+                round(r["mean_evals"], 1),
+                round(r["scalar_qps"], 0),
+                round(r["batch_qps"], 0),
+                round(r["speedup"], 1),
+                round(stats.recall_at_1, 3),
+            ]
+        )
+    write_table(
+        "batch_throughput_builders",
+        f"E9a: scalar vs lockstep-batch greedy QPS (n={n}, eps={EPS})",
+        ["method", "mean deg", "evals/query", "scalar qps", "batch qps",
+         "speedup", "recall@1"],
+        rows,
+        notes=(
+            "Dense guaranteed graphs (gnet/merged) are arithmetic-bound — "
+            "both engines do the same distance work, so the gain is modest.  "
+            "Degree-capped graphs route with small per-hop batches, where "
+            "the scalar loop pays ~10us of Python per hop; lockstep "
+            "amortizes it across the whole query batch."
+        ),
+    )
+    # Only the deterministic bit-identity assert gates this test (it runs
+    # in CI, where wall-clock ratios on shared runners are too noisy to
+    # assert on); the speedup column is reporting, not a gate.
+    vamana = build("vamana", ds, EPS, np.random.default_rng(42), max_degree=32)
+    benchmark.pedantic(
+        lambda: greedy_batch(vamana.graph, ds, starts, queries),
+        rounds=3,
+        iterations=1,
+    )
+    _write_json("builders_2k", records)
+
+
+def test_batch_speedup_10k(benchmark, bench_rng):
+    """Headline number: >= 5x QPS on a 10k-point Euclidean workload."""
+    n = 10_000
+    ds = make_dataset(uniform_cube(n, 2, np.random.default_rng(7)))
+    points = np.asarray(ds.points)
+    built = build("vamana", ds, EPS, np.random.default_rng(42), max_degree=32)
+    queries = uniform_queries(1000, points, bench_rng)
+    starts = bench_rng.integers(ds.n, size=len(queries))
+
+    r = _throughput(built.graph, ds, queries, starts)
+    assert r["identical"], "batch engine diverged from scalar greedy"
+    write_table(
+        "batch_throughput_10k",
+        f"E9b: 10k-point Euclidean workload (vamana, eps={EPS})",
+        ["n", "queries", "scalar qps", "batch qps", "speedup"],
+        [[n, r["queries"], round(r["scalar_qps"], 0),
+          round(r["batch_qps"], 0), round(r["speedup"], 1)]],
+        notes="acceptance: the lockstep engine must clear 5x on this workload",
+    )
+    _write_json(
+        "euclidean_10k",
+        {
+            "n": n,
+            "method": "vamana",
+            **{k: round(v, 1) if isinstance(v, float) else v for k, v in r.items()},
+        },
+    )
+    assert r["speedup"] >= 5.0, f"only {r['speedup']:.1f}x on the 10k workload"
+
+    benchmark.pedantic(
+        lambda: greedy_batch(built.graph, ds, starts, queries),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def _write_json(key: str, record) -> None:
+    """Merge one record into results/batch_throughput.json."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "batch_throughput.json"
+    data = json.loads(path.read_text()) if path.exists() else {}
+    data[key] = record
+    path.write_text(json.dumps(data, indent=2) + "\n")

@@ -7,7 +7,7 @@ from __future__ import annotations
 import numpy as np
 
 from benchmarks.conftest import write_table
-from repro.core import measure_queries
+from repro.core import compute_ground_truth, measure_queries
 from repro.graphs import build_gnet
 from repro.workloads import (
     exponential_cluster_chain,
@@ -117,10 +117,12 @@ def test_query_cost_vs_epsilon(benchmark, bench_rng):
     tighter answers."""
     ds = make_dataset(uniform_cube(600, 2, bench_rng))
     queries = list(uniform_queries(60, np.asarray(ds.points), bench_rng))
+    # The same query batch replays against every eps: scan for NNs once.
+    gt = compute_ground_truth(ds, queries)
     rows = []
     for eps in [1.0, 0.5, 0.25]:
         res = build_gnet(ds, epsilon=eps, method="grid")
-        stats = measure_queries(res.graph, ds, queries, epsilon=eps)
+        stats = measure_queries(res.graph, ds, queries, epsilon=eps, ground_truth=gt)
         rows.append(
             [
                 eps,

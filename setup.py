@@ -1,8 +1,10 @@
 """Legacy setup shim.
 
-The offline reproduction environment lacks the ``wheel`` package, so PEP
-517 editable installs fail; this shim lets ``pip install -e .`` fall back
-to ``setup.py develop``.  All metadata lives in ``pyproject.toml``.
+All metadata lives in ``pyproject.toml``; online environments should use
+``pip install -e .``.  The offline reproduction environment lacks the
+``wheel`` package, so PEP 517 editable installs fail there — run
+``python setup.py develop`` instead, which installs the same metadata
+through setuptools' legacy path.
 """
 
 from setuptools import setup

@@ -21,13 +21,14 @@ Start with :class:`repro.ProximityGraphIndex`; drop to the subpackages
 
 from repro.core.builders import available_builders, build
 from repro.core.index import ProximityGraphIndex
-from repro.core.stats import measure_queries
+from repro.core.stats import compute_ground_truth, measure_queries
 from repro.graphs import (
     ProximityGraph,
     build_gnet,
     build_merged_graph,
     build_theta_graph,
     greedy,
+    greedy_batch,
 )
 from repro.metrics import Dataset, EuclideanMetric, MetricSpace
 
@@ -44,7 +45,9 @@ __all__ = [
     "build_gnet",
     "build_merged_graph",
     "build_theta_graph",
+    "compute_ground_truth",
     "greedy",
+    "greedy_batch",
     "measure_queries",
     "__version__",
 ]

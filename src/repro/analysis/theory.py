@@ -12,8 +12,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.graphs.gnet import GNetBuildResult
 
 __all__ = ["TheoryReport", "gnet_theory_report"]

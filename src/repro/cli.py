@@ -5,6 +5,7 @@ graphs from the shell.
     python -m repro query   points.npy graph.npz --q 0.25 0.75
     python -m repro stats   points.npy graph.npz
     python -m repro validate points.npy graph.npz --queries 200
+    python -m repro bench-throughput points.npy --method vamana --queries 1000
     python -m repro builders
 
 Points files are ``.npy`` arrays of shape ``(n, d)``.  Graphs persist in
@@ -18,6 +19,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 
 import numpy as np
@@ -25,6 +27,7 @@ import numpy as np
 from repro.core.builders import available_builders, build
 from repro.core.stats import measure_queries, timed
 from repro.graphs.base import ProximityGraph
+from repro.graphs.engine import greedy_batch
 from repro.graphs.greedy import greedy
 from repro.graphs.navigability import find_violations
 from repro.metrics.base import Dataset
@@ -150,6 +153,64 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0 if not violations else 1
 
 
+def _cmd_bench_throughput(args: argparse.Namespace) -> int:
+    """Scalar loop vs lockstep batch engine on one workload: report QPS."""
+    points = _load_points(args.points)
+    dataset, _factor = _dataset(points)
+    rng = np.random.default_rng(args.seed)
+    built, build_seconds = timed(
+        lambda: build(args.method, dataset, args.epsilon, rng)
+    )
+    graph = built.graph
+    m = args.queries
+    queries = np.concatenate(
+        [
+            uniform_queries(m // 2, points, rng),
+            near_data_queries(m - m // 2, points, rng),
+        ]
+    )
+    starts = rng.integers(graph.n, size=len(queries))
+
+    t0 = time.perf_counter()
+    batch = greedy_batch(graph, dataset, starts, queries, budget=args.budget)
+    batch_seconds = time.perf_counter() - t0
+
+    scalar_seconds = None
+    identical = None
+    if not args.skip_scalar:
+        t0 = time.perf_counter()
+        scalar = [
+            greedy(graph, dataset, int(s), q, budget=args.budget)
+            for q, s in zip(queries, starts)
+        ]
+        scalar_seconds = time.perf_counter() - t0
+        identical = all(
+            a.point == b.point
+            and a.distance == b.distance
+            and a.distance_evals == b.distance_evals
+            for a, b in zip(scalar, batch)
+        )
+
+    out = {
+        "method": args.method,
+        "epsilon": args.epsilon,
+        "n": int(graph.n),
+        "edges": graph.num_edges,
+        "queries": len(queries),
+        "build_seconds": round(build_seconds, 3),
+        "mean_distance_evals": round(
+            float(np.mean([r.distance_evals for r in batch])), 1
+        ),
+        "batch_qps": round(len(queries) / batch_seconds, 1),
+    }
+    if scalar_seconds is not None:
+        out["scalar_qps"] = round(len(queries) / scalar_seconds, 1)
+        out["speedup"] = round(scalar_seconds / batch_seconds, 2)
+        out["results_identical"] = identical
+    print(json.dumps(out, indent=2))
+    return 0 if identical in (None, True) else 1
+
+
 def _parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -190,6 +251,23 @@ def _parser() -> argparse.ArgumentParser:
     p.add_argument("--queries", type=int, default=100)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=_cmd_validate)
+
+    p = sub.add_parser(
+        "bench-throughput",
+        help="QPS of the lockstep batch engine vs the scalar greedy loop",
+    )
+    p.add_argument("points")
+    p.add_argument("--method", default="vamana", choices=available_builders())
+    p.add_argument("--epsilon", type=float, default=0.5)
+    p.add_argument("--queries", type=int, default=1000)
+    p.add_argument("--budget", type=int, default=None)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--skip-scalar",
+        action="store_true",
+        help="report only the batch engine (skip the slow scalar baseline)",
+    )
+    p.set_defaults(fn=_cmd_bench_throughput)
     return parser
 
 

@@ -3,7 +3,7 @@ helpers."""
 
 from repro.core.builders import BuiltGraph, available_builders, build, register_builder
 from repro.core.index import ProximityGraphIndex
-from repro.core.stats import QueryStats, measure_queries, timed
+from repro.core.stats import QueryStats, compute_ground_truth, measure_queries, timed
 
 __all__ = [
     "BuiltGraph",
@@ -11,6 +11,7 @@ __all__ = [
     "QueryStats",
     "available_builders",
     "build",
+    "compute_ground_truth",
     "measure_queries",
     "register_builder",
     "timed",

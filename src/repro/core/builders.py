@@ -70,12 +70,16 @@ def build(
 ) -> BuiltGraph:
     if name not in BUILDERS:
         raise ValueError(f"unknown builder {name!r}; have {available_builders()}")
-    return BUILDERS[name](
+    built = BUILDERS[name](
         dataset=dataset,
         epsilon=epsilon,
         rng=rng or np.random.default_rng(0),
         **options,
     )
+    # Finished graphs are CSR-native: freeze the builder's mutable buffer
+    # so queries gather from flat storage (mutation transparently thaws).
+    built.graph.freeze()
+    return built
 
 
 # ----------------------------------------------------------------------

@@ -29,6 +29,7 @@ import numpy as np
 from repro.core.builders import BuiltGraph, build
 from repro.core.stats import QueryStats, measure_queries
 from repro.graphs.base import ProximityGraph
+from repro.graphs.engine import beam_search_batch, greedy_batch
 from repro.graphs.greedy import beam_search, greedy
 from repro.graphs.navigability import NavigabilityViolation, find_violations
 from repro.metrics.base import Dataset, MetricSpace
@@ -149,6 +150,47 @@ class ProximityGraphIndex:
             self.graph, self.dataset, start, q, beam_width=width, k=k
         )
         return [(pid, self._to_original(d)) for pid, d in found]
+
+    # ------------------------------------------------------------------
+    # Batched queries (the vectorized engine; bit-identical to the
+    # per-query paths above, amortized over the whole batch)
+    # ------------------------------------------------------------------
+
+    def query_batch(
+        self,
+        queries: Sequence[Any],
+        starts: Sequence[int] | None = None,
+        budget: int | None = None,
+    ) -> list[tuple[int, float]]:
+        """Greedy (1+eps)-ANN for a whole query batch in lockstep.
+
+        Returns one ``(point_id, distance)`` pair per query, in original
+        distance units.  ``starts`` defaults to one random vertex per
+        query, mirroring :meth:`query`.
+        """
+        if starts is None:
+            starts = self._rng.integers(self.n, size=len(queries))
+        results = greedy_batch(self.graph, self.dataset, starts, queries, budget=budget)
+        return [(r.point, self._to_original(r.distance)) for r in results]
+
+    def query_k_batch(
+        self,
+        queries: Sequence[Any],
+        k: int,
+        beam_width: int | None = None,
+        starts: Sequence[int] | None = None,
+    ) -> list[list[tuple[int, float]]]:
+        """Top-``k`` beam search for a whole query batch in lockstep."""
+        if starts is None:
+            starts = self._rng.integers(self.n, size=len(queries))
+        width = beam_width if beam_width is not None else max(2 * k, 16)
+        found = beam_search_batch(
+            self.graph, self.dataset, starts, queries, beam_width=width, k=k
+        )
+        return [
+            [(pid, self._to_original(d)) for pid, d in pairs]
+            for pairs, _evals in found
+        ]
 
     # ------------------------------------------------------------------
 

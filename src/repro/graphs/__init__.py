@@ -6,6 +6,7 @@ Euclidean graph of Theorem 1.3)."""
 from repro.graphs.base import ProximityGraph
 from repro.graphs.cones import ConeFamily, build_cone_family
 from repro.graphs.dynamic import DynamicGNet
+from repro.graphs.engine import beam_search_batch, greedy_batch
 from repro.graphs.gnet import (
     GNetBuildResult,
     GNetParameters,
@@ -42,6 +43,7 @@ __all__ = [
     "ThetaBuildResult",
     "assert_navigable",
     "beam_search",
+    "beam_search_batch",
     "build_cone_family",
     "build_gnet",
     "build_merged_graph",
@@ -52,6 +54,7 @@ __all__ = [
     "find_violations",
     "gnet_parameters",
     "greedy",
+    "greedy_batch",
     "greedy_matches_navigability",
     "jackpot_rate",
     "query",

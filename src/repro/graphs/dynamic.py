@@ -35,8 +35,6 @@ coordinates.  For abstract metrics use the static builder.
 
 from __future__ import annotations
 
-import math
-
 import numpy as np
 
 from repro.graphs.base import ProximityGraph

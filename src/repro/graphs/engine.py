@@ -1,0 +1,265 @@
+"""Vectorized batch query engine — many searches in lockstep.
+
+The scalar :func:`repro.graphs.greedy.greedy` loop issues one small
+distance batch per hop per query; at production query rates the Python
+per-hop overhead dominates the arithmetic.  This engine runs a whole
+query batch in lockstep instead: per hop it gathers every active query's
+neighbor slice straight from the graph's CSR storage, issues **one**
+segmented :meth:`~repro.metrics.base.MetricSpace.distances_many` call
+for all (query, neighbor) pairs, and advances every active query at
+once with segmented reductions.
+
+Semantics are *bit-identical* to the scalar procedures: the same
+distance kernels evaluate the same operands in the same per-segment
+order, eval budgets are charged per query exactly as the paper's
+``query(p_start, q, Q)`` does, and ties still break toward the smallest
+vertex id (first index of the per-segment minimum).  ``greedy_batch``
+therefore returns the very :class:`GreedyResult` objects the scalar loop
+would have produced — the throughput win is pure overhead removal, not
+an accounting change.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.graphs.base import ProximityGraph
+from repro.graphs.greedy import GreedyResult
+from repro.metrics.base import Dataset
+
+__all__ = ["greedy_batch", "beam_search_batch"]
+
+
+def _as_query_array(queries: Any) -> np.ndarray:
+    """Hold the query batch in one fancy-indexable array.
+
+    Coordinate queries become an ``(m, d)`` float array, id queries a 1-D
+    int array; anything heterogeneous falls back to an object array,
+    which the default (per-segment) metric path handles.
+    """
+    if isinstance(queries, np.ndarray):
+        return queries
+    try:
+        return np.asarray(queries)
+    except ValueError:  # ragged input
+        arr = np.empty(len(queries), dtype=object)
+        arr[:] = list(queries)
+        return arr
+
+
+def greedy_batch(
+    graph: ProximityGraph,
+    dataset: Dataset,
+    starts: Sequence[int],
+    queries: Any,
+    budget: int | None = None,
+) -> list[GreedyResult]:
+    """Run ``greedy(starts[i], queries[i])`` for all ``i`` in lockstep.
+
+    Returns one :class:`GreedyResult` per query, bit-identical (point,
+    distance, hops, distance_evals, self_terminated) to calling the
+    scalar :func:`~repro.graphs.greedy.greedy` per query with the same
+    ``budget``.
+    """
+    m = len(queries)
+    starts = np.asarray(starts, dtype=np.intp)
+    if len(starts) != m:
+        raise ValueError("need exactly one start vertex per query")
+    if m and (starts.min() < 0 or starts.max() >= graph.n):
+        bad = starts[(starts < 0) | (starts >= graph.n)][0]
+        raise ValueError(f"start vertex {int(bad)} out of range")
+    offsets, targets = graph.csr()
+    Q = _as_query_array(queries)
+
+    # The initial distance of each query is the same scalar evaluation
+    # the sequential loop performs (one per query, once).
+    p_cur = starts.copy()
+    d_cur = np.array(
+        [dataset.distance_to_query(Q[i], int(starts[i])) for i in range(m)],
+        dtype=np.float64,
+    )
+    evals = np.ones(m, dtype=np.int64)
+    hops: list[list[int]] = [[int(s)] for s in starts]
+    results: list[GreedyResult | None] = [None] * m
+    active = np.arange(m, dtype=np.intp)
+
+    def finalize(idx: np.ndarray, self_terminated: np.ndarray | bool) -> None:
+        flags = (
+            np.broadcast_to(self_terminated, len(idx))
+            if np.isscalar(self_terminated)
+            else self_terminated
+        )
+        for i, flag in zip(idx, flags):
+            results[i] = GreedyResult(
+                int(p_cur[i]), float(d_cur[i]), hops[i], int(evals[i]), bool(flag)
+            )
+
+    while len(active):
+        # 1. Budget exhausted before the hop (the paper's query() cutoff).
+        if budget is not None:
+            exhausted = evals[active] >= budget
+            if exhausted.any():
+                finalize(active[exhausted], False)
+                active = active[~exhausted]
+                if not len(active):
+                    break
+
+        # 2. Local optimum by emptiness: no out-neighbors to examine.
+        p_act = p_cur[active]
+        deg = (offsets[p_act + 1] - offsets[p_act]).astype(np.int64)
+        empty = deg == 0
+        if empty.any():
+            finalize(active[empty], True)
+            active, p_act, deg = active[~empty], p_act[~empty], deg[~empty]
+            if not len(active):
+                break
+
+        # 3. Truncate each neighbor slice to the remaining budget.
+        if budget is not None:
+            take = np.minimum(deg, budget - evals[active])
+            truncated = take < deg
+        else:
+            take = deg
+            truncated = np.zeros(len(active), dtype=bool)
+
+        # 4. Gather all neighbor slices flat and evaluate them in ONE
+        #    segmented distance call.
+        seg_stop = np.cumsum(take)
+        seg_start = seg_stop - take
+        total = int(seg_stop[-1])
+        flat = (
+            np.arange(total, dtype=np.int64)
+            - np.repeat(seg_start, take)
+            + np.repeat(offsets[p_act], take)
+        )
+        cand = targets[flat]
+        dists = dataset.distances_to_queries(Q[active], cand, take)
+        evals[active] += take
+
+        # 5. Per-segment first minimum (greedy's smallest-id tie-break).
+        mins = np.minimum.reduceat(dists, seg_start)
+        is_min = dists == np.repeat(mins, take)
+        first = np.minimum.reduceat(
+            np.where(is_min, np.arange(total, dtype=np.int64), total), seg_start
+        )
+
+        # 6. Queries whose best neighbor does not improve stop here; with
+        #    a truncated slice the optimum cannot be certified.
+        improved = mins < d_cur[active]
+        if (~improved).any():
+            finalize(active[~improved], ~truncated[~improved])
+
+        # 7. Advance the rest.
+        adv = active[improved]
+        new_p = cand[first[improved]]
+        p_cur[adv] = new_p
+        d_cur[adv] = mins[improved]
+        for i, p in zip(adv, new_p):
+            hops[i].append(int(p))
+        active = adv
+
+    return results  # type: ignore[return-value]
+
+
+class _BeamState:
+    """Per-query beam bookkeeping for the lockstep rounds."""
+
+    __slots__ = ("candidates", "pool", "visited", "evals", "done")
+
+    def __init__(self, start: int, d0: float):
+        self.candidates: list[tuple[float, int]] = [(d0, start)]
+        self.pool: list[tuple[float, int]] = [(-d0, start)]
+        self.visited: set[int] = {start}
+        self.evals = 1
+        self.done = False
+
+
+def beam_search_batch(
+    graph: ProximityGraph,
+    dataset: Dataset,
+    starts: Sequence[int],
+    queries: Any,
+    beam_width: int,
+    k: int = 1,
+    budget: int | None = None,
+) -> list[tuple[list[tuple[int, float]], int]]:
+    """Lockstep best-first beam search over a query batch.
+
+    Per round every live query pops its best candidate and contributes
+    its unvisited out-neighbors to one shared segmented distance call;
+    heap updates then replay the scalar :func:`beam_search` logic per
+    query, so results and eval counts match the scalar routine exactly.
+    """
+    if beam_width < 1:
+        raise ValueError("beam width must be at least 1")
+    m = len(queries)
+    starts = np.asarray(starts, dtype=np.intp)
+    if len(starts) != m:
+        raise ValueError("need exactly one start vertex per query")
+    graph.freeze()
+    Q = _as_query_array(queries)
+
+    states = [
+        _BeamState(int(starts[i]), dataset.distance_to_query(Q[i], int(starts[i])))
+        for i in range(m)
+    ]
+
+    live = list(range(m))
+    while live:
+        round_ids: list[int] = []
+        round_nbrs: list[np.ndarray] = []
+        next_live: list[int] = []
+        for i in live:
+            st = states[i]
+            if not st.candidates:
+                st.done = True
+                continue
+            d, u = heapq.heappop(st.candidates)
+            if len(st.pool) >= beam_width and d > -st.pool[0][0]:
+                st.done = True
+                continue
+            nbrs = [
+                int(v) for v in graph.out_neighbors(u) if int(v) not in st.visited
+            ]
+            if not nbrs:
+                next_live.append(i)  # pop the next candidate next round
+                continue
+            if budget is not None and st.evals >= budget:
+                st.done = True
+                continue
+            if budget is not None and st.evals + len(nbrs) > budget:
+                nbrs = nbrs[: budget - st.evals]
+            round_ids.append(i)
+            round_nbrs.append(np.array(nbrs, dtype=np.intp))
+            next_live.append(i)
+
+        if round_ids:
+            lens = np.array([len(a) for a in round_nbrs], dtype=np.int64)
+            dists = dataset.distances_to_queries(
+                Q[np.array(round_ids, dtype=np.intp)],
+                np.concatenate(round_nbrs),
+                lens,
+            )
+            pos = 0
+            for i, arr in zip(round_ids, round_nbrs):
+                st = states[i]
+                seg = dists[pos : pos + len(arr)]
+                pos += len(arr)
+                st.evals += len(arr)
+                for v, dv in zip(arr, seg):
+                    st.visited.add(int(v))
+                    if len(st.pool) < beam_width or dv < -st.pool[0][0]:
+                        heapq.heappush(st.candidates, (float(dv), int(v)))
+                        heapq.heappush(st.pool, (-float(dv), int(v)))
+                        if len(st.pool) > beam_width:
+                            heapq.heappop(st.pool)
+        live = [i for i in next_live if not states[i].done]
+
+    out: list[tuple[list[tuple[int, float]], int]] = []
+    for st in states:
+        best = sorted((-d, v) for d, v in st.pool)[: max(k, 1)]
+        out.append(([(v, d) for d, v in best], st.evals))
+    return out

@@ -59,6 +59,43 @@ class MetricSpace(ABC):
         """
         return np.array([self.distance(a, b) for b in batch], dtype=np.float64)
 
+    def distances_many(self, queries: Any, batch: Any, lens: np.ndarray) -> np.ndarray:
+        """Segmented many-to-many distances — the batch engine primitive.
+
+        ``queries`` holds one query point per segment, ``batch`` is the
+        flat concatenation of all segments' target points, and ``lens``
+        gives each segment's length (so ``len(batch) == lens.sum()``).
+        Returns the flat float64 array whose segment ``i`` is
+        ``[D(queries[i], b) for b in segment_i]``.
+
+        The default delegates each segment to :meth:`distances`, which
+        guarantees the per-element results are *bit-identical* to what a
+        scalar search loop would compute — the batch engine relies on
+        that.  Coordinate metrics override with a single vectorized
+        evaluation over the whole flat batch.
+        """
+        lens = np.asarray(lens, dtype=np.int64)
+        out = np.empty(int(lens.sum()), dtype=np.float64)
+        pos = 0
+        for q, ln in zip(queries, lens):
+            ln = int(ln)
+            out[pos : pos + ln] = self.distances(q, batch[pos : pos + ln])
+            pos += ln
+        return out
+
+    def cross_distances(self, queries: Any, batch: Any) -> np.ndarray:
+        """Full ``(len(queries), len(batch))`` query-to-point matrix.
+
+        Used by ground-truth computation (exact NN of every query by
+        linear scan).  The default runs one :meth:`distances` row per
+        query; the Euclidean metric overrides it with a BLAS-backed Gram
+        expansion.
+        """
+        out = np.empty((len(queries), len(batch)), dtype=np.float64)
+        for i, q in enumerate(queries):
+            out[i, :] = self.distances(q, batch)
+        return out
+
     def pairwise(self, batch: Any) -> np.ndarray:
         """Return the full symmetric distance matrix of ``batch``.
 
@@ -143,6 +180,16 @@ class Dataset:
         """Distances from query ``q`` to the data points in ``idx``."""
         return self.metric.distances(q, self.points[idx])
 
+    def distances_to_queries(
+        self, queries: Any, idx: np.ndarray, lens: np.ndarray
+    ) -> np.ndarray:
+        """Segmented batch: distances from ``queries[i]`` to the data
+        points of segment ``i`` of ``idx`` (segment lengths in ``lens``).
+        One call serves a whole lockstep hop of the batch engine."""
+        return self.metric.distances_many(
+            queries, self.points[np.asarray(idx, dtype=np.intp)], lens
+        )
+
     def distances_to_query_all(self, q: Any) -> np.ndarray:
         """Distances from query ``q`` to every data point."""
         return self.metric.distances(q, self.points)
@@ -197,6 +244,12 @@ class ScaledMetric(MetricSpace):
     def distances(self, a: Any, batch: Any) -> np.ndarray:
         return self.factor * self.inner.distances(a, batch)
 
+    def distances_many(self, queries: Any, batch: Any, lens: np.ndarray) -> np.ndarray:
+        return self.factor * self.inner.distances_many(queries, batch, lens)
+
+    def cross_distances(self, queries: Any, batch: Any) -> np.ndarray:
+        return self.factor * self.inner.cross_distances(queries, batch)
+
 
 class ExplicitMatrixMetric(MetricSpace):
     """A metric given by an explicit ``n x n`` distance matrix.
@@ -227,3 +280,16 @@ class ExplicitMatrixMetric(MetricSpace):
         return self.matrix[int(a), np.asarray(batch, dtype=np.intp)].astype(
             np.float64, copy=False
         )
+
+    def distances_many(
+        self, queries: np.ndarray, batch: np.ndarray, lens: np.ndarray
+    ) -> np.ndarray:
+        rows = np.repeat(np.asarray(queries, dtype=np.intp), np.asarray(lens))
+        return self.matrix[rows, np.asarray(batch, dtype=np.intp)].astype(
+            np.float64, copy=False
+        )
+
+    def cross_distances(self, queries: np.ndarray, batch: np.ndarray) -> np.ndarray:
+        rows = np.asarray(queries, dtype=np.intp)
+        cols = np.asarray(batch, dtype=np.intp)
+        return self.matrix[np.ix_(rows, cols)].astype(np.float64, copy=False)

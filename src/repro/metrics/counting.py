@@ -45,6 +45,16 @@ class CountingMetric(MetricSpace):
         self.count += len(out)
         return out
 
+    def distances_many(self, queries: Any, batch: Any, lens: Any) -> np.ndarray:
+        out = self.inner.distances_many(queries, batch, lens)
+        self.count += len(out)
+        return out
+
+    def cross_distances(self, queries: Any, batch: Any) -> np.ndarray:
+        out = self.inner.cross_distances(queries, batch)
+        self.count += out.shape[0] * out.shape[1]
+        return out
+
     def pairwise(self, batch: Any) -> np.ndarray:
         out = self.inner.pairwise(batch)
         self.count += out.shape[0] * out.shape[1]

@@ -34,6 +34,32 @@ class EuclideanMetric(MetricSpace):
         diff = batch - np.asarray(a, dtype=np.float64)[None, :]
         return np.sqrt(np.einsum("ij,ij->i", diff, diff))
 
+    def distances_many(
+        self, queries: np.ndarray, batch: np.ndarray, lens: np.ndarray
+    ) -> np.ndarray:
+        # One flat evaluation for a whole lockstep hop.  The row-wise
+        # einsum reduction is per-row independent, so each element is
+        # bit-identical to the per-segment `distances` result above.
+        queries = np.asarray(queries, dtype=np.float64)
+        batch = np.asarray(batch, dtype=np.float64)
+        if batch.ndim == 1:
+            batch = batch[None, :]
+        if queries.ndim == 1:
+            queries = queries[None, :]
+        diff = batch - np.repeat(queries, np.asarray(lens), axis=0)
+        return np.sqrt(np.einsum("ij,ij->i", diff, diff))
+
+    def cross_distances(self, queries: np.ndarray, batch: np.ndarray) -> np.ndarray:
+        # ||q - p||^2 = ||q||^2 + ||p||^2 - 2 q.p with the cross term as
+        # one BLAS GEMM — the fast ground-truth path.
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        batch = np.atleast_2d(np.asarray(batch, dtype=np.float64))
+        q_sq = np.einsum("ij,ij->i", queries, queries)
+        b_sq = np.einsum("ij,ij->i", batch, batch)
+        d2 = q_sq[:, None] + b_sq[None, :] - 2.0 * (queries @ batch.T)
+        np.maximum(d2, 0.0, out=d2)
+        return np.sqrt(d2)
+
     def pairwise(self, batch: np.ndarray) -> np.ndarray:
         batch = np.asarray(batch, dtype=np.float64)
         # ||x - y||^2 = ||x||^2 + ||y||^2 - 2 x.y, clipped against fp noise.
@@ -63,6 +89,13 @@ class ChebyshevMetric(MetricSpace):
             batch = batch[None, :]
         return np.abs(batch - np.asarray(a, dtype=np.float64)[None, :]).max(axis=1)
 
+    def distances_many(
+        self, queries: np.ndarray, batch: np.ndarray, lens: np.ndarray
+    ) -> np.ndarray:
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        batch = np.atleast_2d(np.asarray(batch, dtype=np.float64))
+        return np.abs(batch - np.repeat(queries, np.asarray(lens), axis=0)).max(axis=1)
+
 
 class MinkowskiMetric(MetricSpace):
     """The ``Lp`` metric on ``R^d`` for ``p >= 1``.
@@ -86,4 +119,12 @@ class MinkowskiMetric(MetricSpace):
         if batch.ndim == 1:
             batch = batch[None, :]
         diff = np.abs(batch - np.asarray(a, dtype=np.float64)[None, :])
+        return (diff**self.p).sum(axis=1) ** (1.0 / self.p)
+
+    def distances_many(
+        self, queries: np.ndarray, batch: np.ndarray, lens: np.ndarray
+    ) -> np.ndarray:
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        batch = np.atleast_2d(np.asarray(batch, dtype=np.float64))
+        diff = np.abs(batch - np.repeat(queries, np.asarray(lens), axis=0))
         return (diff**self.p).sum(axis=1) ** (1.0 / self.p)

@@ -22,7 +22,7 @@ from typing import Callable
 
 import numpy as np
 
-from repro.metrics.base import Dataset, MetricSpace, ScaledMetric
+from repro.metrics.base import Dataset, ScaledMetric
 
 __all__ = [
     "normalize_min_distance",

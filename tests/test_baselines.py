@@ -15,7 +15,6 @@ from repro.baselines import (
     build_knn_digraph,
 )
 from repro.graphs import find_violations, greedy
-from repro.metrics import Dataset, EuclideanMetric
 from tests.conftest import mixed_queries
 
 

@@ -10,7 +10,7 @@ import pytest
 from repro.anns import BruteForceANN
 from repro.graphs import build_gnet, find_violations, gnet_parameters, greedy
 from repro.graphs.gnet import GNetParameters
-from repro.metrics import Dataset, EuclideanMetric, TreeMetric
+from repro.metrics import Dataset, TreeMetric
 from tests.conftest import mixed_queries
 
 

@@ -102,6 +102,70 @@ class TestCombinators:
         assert a != b
 
 
+class TestFreezeThaw:
+    def test_freeze_is_idempotent_and_preserves_adjacency(self):
+        g = ProximityGraph.from_edge_list(4, [(0, 1), (0, 2), (2, 3)])
+        rows = [list(map(int, g.out_neighbors(u))) for u in range(4)]
+        assert not g.frozen
+        assert g.freeze() is g and g.frozen
+        g.freeze()  # no-op
+        assert [list(map(int, g.out_neighbors(u))) for u in range(4)] == rows
+        assert g.num_edges == 3
+
+    def test_csr_layout(self):
+        g = ProximityGraph.from_edge_list(4, [(0, 2), (0, 1), (2, 3)])
+        offsets, targets = g.csr()
+        assert g.frozen  # csr() freezes in place
+        assert offsets.tolist() == [0, 2, 2, 3, 3]
+        assert targets.tolist() == [1, 2, 3]
+
+    def test_mutation_thaws_transparently(self):
+        g = ProximityGraph.from_edge_list(3, [(0, 1)]).freeze()
+        g.add_edges(0, [2])
+        assert not g.frozen
+        assert set(map(int, g.out_neighbors(0))) == {1, 2}
+        g.freeze()
+        g.set_out_neighbors(0, [2])
+        assert list(map(int, g.out_neighbors(0))) == [2]
+
+    def test_frozen_queries_and_stats(self):
+        g = ProximityGraph.from_edge_list(4, [(0, 1), (0, 2), (1, 3)]).freeze()
+        assert g.has_edge(0, 2) and not g.has_edge(0, 3)
+        assert g.out_degrees().tolist() == [2, 1, 0, 0]
+        assert g.degree_histogram() == {0: 2, 1: 1, 2: 1}
+        assert sorted(g.edges()) == [(0, 1), (0, 2), (1, 3)]
+
+    def test_copy_preserves_state(self):
+        g = ProximityGraph.from_edge_list(3, [(0, 1)])
+        assert not g.copy().frozen
+        f = g.freeze().copy()
+        assert f.frozen and f == g
+        f.add_edges(1, [2])  # thaws the copy only
+        assert g.frozen and not g.has_edge(1, 2)
+
+    def test_equality_across_states(self):
+        a = ProximityGraph.from_edge_list(3, [(0, 1), (2, 0)])
+        b = a.copy().freeze()
+        assert a == b and b == a
+
+    def test_merge_accepts_frozen_inputs(self):
+        a = ProximityGraph.from_edge_list(3, [(0, 1)]).freeze()
+        b = ProximityGraph.from_edge_list(3, [(0, 2), (1, 0)]).freeze()
+        m = a.merge(b)
+        assert set(map(int, m.out_neighbors(0))) == {1, 2}
+        assert a.frozen and b.frozen  # inputs untouched
+
+    def test_from_csr_validates(self):
+        with pytest.raises(ValueError):
+            ProximityGraph.from_csr(
+                2, np.array([0, 1, 1]), np.array([5])
+            )  # id out of range
+        with pytest.raises(ValueError):
+            ProximityGraph.from_csr(
+                2, np.array([0, 1, 1]), np.array([0])
+            )  # self-loop
+
+
 class TestPersistence:
     def test_roundtrip(self, tmp_path, rng):
         n = 20

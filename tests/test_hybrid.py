@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.graphs import build_gnet
 from repro.graphs.hybrid import build_hybrid_candidate, probe_open_question

@@ -7,7 +7,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.baselines import build_complete_graph, build_knn_digraph
+from repro.baselines import build_knn_digraph
 from repro.graphs import build_gnet
 from repro.graphs.validate import (
     corrupt_graph,

@@ -8,7 +8,7 @@ import pytest
 from repro.baselines import VamanaIndex
 from repro.core import build
 from repro.metrics import Dataset, EuclideanMetric
-from repro.workloads import gaussian_clusters, uniform_cube
+from repro.workloads import gaussian_clusters
 
 
 class TestConstruction:
