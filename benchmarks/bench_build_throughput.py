@@ -1,0 +1,175 @@
+"""E10 — throughput of the batched construction engine vs sequential
+insertion.
+
+After the batch *query* engine (E9) the build became the bottleneck:
+HNSW, NSW, and Vamana still inserted one point at a time through scalar
+Python beam searches.  The batched engine
+(:func:`repro.graphs.engine.bulk_insert` +
+:func:`~repro.graphs.engine.construction_beam_batch`) inserts points in
+waves located lockstep against the frozen prefix graph.  This bench
+records both regimes:
+
+* a cross-builder table (hnsw / nsw / vamana / diskann) on one clustered
+  2k-point workload;
+* the headline 10k-point clustered workload on Vamana, where the bench
+  records (and asserts) the >= 3x build speedup with recall@10 within
+  0.01 of the sequential build in ``results/build_throughput.json`` —
+  the acceptance gate of the batched-construction PR.
+
+Wave sizes follow the engine's ramp (1, 1, 2, 4, ... up to
+``batch_size``), so early insertions never search a prefix smaller than
+their own wave.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+
+from benchmarks.conftest import RESULTS_DIR, write_table
+from repro.core import build, compute_ground_truth_k
+from repro.graphs import beam_search_batch
+from repro.metrics import Dataset, EuclideanMetric
+from repro.metrics.scaling import normalize_min_distance
+from repro.workloads import gaussian_clusters, uniform_queries
+
+EPS = 1.0
+
+
+def _workload(n: int, dim: int, seed: int, m_queries: int):
+    pts = gaussian_clusters(n, dim, np.random.default_rng(seed), clusters=20)
+    ds, _ = normalize_min_distance(Dataset(EuclideanMetric(), pts))
+    rng = np.random.default_rng(2025)
+    queries = uniform_queries(m_queries, pts, rng)
+    starts = rng.integers(ds.n, size=m_queries)
+    gt10, _ = compute_ground_truth_k(ds, queries, k=10)
+    return ds, queries, starts, gt10
+
+
+def _recall10(graph, ds, queries, starts, gt10) -> float:
+    found = beam_search_batch(graph, ds, starts, queries, beam_width=64, k=10)
+    hits = sum(
+        len({v for v, _ in pairs} & set(gt10[i].tolist()))
+        for i, (pairs, _evals) in enumerate(found)
+    )
+    return hits / (len(queries) * 10)
+
+
+def _compare(name, opts, batch_size, ds, queries, starts, gt10) -> dict:
+    t0 = time.perf_counter()
+    seq = build(name, ds, EPS, np.random.default_rng(42), **opts)
+    seq_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    bat = build(name, ds, EPS, np.random.default_rng(42), batch_size=batch_size, **opts)
+    bat_s = time.perf_counter() - t0
+    return {
+        "n": int(ds.n),
+        "batch_size": batch_size,
+        "sequential_seconds": round(seq_s, 3),
+        "batched_seconds": round(bat_s, 3),
+        "speedup": round(seq_s / bat_s, 2),
+        "sequential_recall_at_10": round(
+            _recall10(seq.graph, ds, queries, starts, gt10), 4
+        ),
+        "batched_recall_at_10": round(
+            _recall10(bat.graph, ds, queries, starts, gt10), 4
+        ),
+    }
+
+
+def test_build_throughput_builders(benchmark):
+    """Sequential vs batched build for every insertion-based builder."""
+    ds, queries, starts, gt10 = _workload(2000, 4, seed=11, m_queries=300)
+    configs = [
+        ("hnsw", {"m": 8, "ef_construction": 64}),
+        ("nsw", {"m": 8}),
+        ("vamana", {"max_degree": 32, "beam_width": 64}),
+        ("diskann", {}),
+    ]
+    rows, records = [], {}
+    for name, opts in configs:
+        r = _compare(name, opts, 200, ds, queries, starts, gt10)
+        records[name] = r
+        rows.append(
+            [
+                name,
+                r["sequential_seconds"],
+                r["batched_seconds"],
+                r["speedup"],
+                r["sequential_recall_at_10"],
+                r["batched_recall_at_10"],
+            ]
+        )
+        assert (
+            r["sequential_recall_at_10"] - r["batched_recall_at_10"] <= 0.02
+        ), f"{name}: batched build lost recall"
+    write_table(
+        "build_throughput_builders",
+        f"E10a: sequential vs batched construction (n=2000, eps={EPS}, waves of 200)",
+        ["method", "seq s", "batch s", "speedup", "recall@10 seq", "recall@10 batch"],
+        rows,
+        notes=(
+            "Insertion builders locate each wave with one vectorized lockstep "
+            "beam against the frozen prefix graph.  diskann's wave path only "
+            "batches its candidate distance rows into one GEMM; its runtime "
+            "is dominated by the per-kept pruning scan, which the wave path "
+            "does not change, so it shows no gain — the knob exists there "
+            "for API uniformity.  Recall: beam-64 search vs exact top-10."
+        ),
+    )
+    _write_json("builders_2k", records)
+    vam = lambda: build(  # noqa: E731 - bench closure
+        "vamana", ds, EPS, np.random.default_rng(42),
+        max_degree=32, beam_width=64, batch_size=200,
+    )
+    benchmark.pedantic(vam, rounds=1, iterations=1)
+
+
+def test_build_speedup_10k(benchmark):
+    """Headline number: >= 3x batched build on 10k points, recall held."""
+    ds, queries, starts, gt10 = _workload(10_000, 4, seed=11, m_queries=500)
+    r = _compare(
+        "vamana", {"max_degree": 32, "beam_width": 64}, 1000,
+        ds, queries, starts, gt10,
+    )
+    write_table(
+        "build_throughput_10k",
+        f"E10b: 10k-point clustered workload (vamana, eps={EPS}, waves of 1000)",
+        ["n", "seq s", "batch s", "speedup", "recall@10 seq", "recall@10 batch"],
+        [[
+            r["n"], r["sequential_seconds"], r["batched_seconds"], r["speedup"],
+            r["sequential_recall_at_10"], r["batched_recall_at_10"],
+        ]],
+        notes=(
+            "acceptance: batched construction must clear 3x on this workload "
+            "with recall@10 within 0.01 of the sequential build"
+        ),
+    )
+    _write_json("vamana_10k", {"method": "vamana", **r})
+    assert r["speedup"] >= 3.0, f"only {r['speedup']:.2f}x on the 10k build"
+    # "Within 0.01" is one-sided: the batched build may not be more than
+    # 0.01 *worse*; on this workload it is actually better (the
+    # multi-expansion beam explores wider than the scalar one).
+    assert (
+        r["sequential_recall_at_10"] - r["batched_recall_at_10"] <= 0.01
+    ), "batched build traded recall for speed"
+
+    benchmark.pedantic(
+        lambda: build(
+            "vamana", ds, EPS, np.random.default_rng(42),
+            max_degree=32, beam_width=64, batch_size=1000,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def _write_json(key: str, record) -> None:
+    """Merge one record into results/build_throughput.json."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "build_throughput.json"
+    data = json.loads(path.read_text()) if path.exists() else {}
+    data[key] = record
+    path.write_text(json.dumps(data, indent=2) + "\n")

@@ -21,12 +21,17 @@ Start with :class:`repro.ProximityGraphIndex`; drop to the subpackages
 
 from repro.core.builders import available_builders, build
 from repro.core.index import ProximityGraphIndex
-from repro.core.stats import compute_ground_truth, measure_queries
+from repro.core.stats import (
+    compute_ground_truth,
+    compute_ground_truth_k,
+    measure_queries,
+)
 from repro.graphs import (
     ProximityGraph,
     build_gnet,
     build_merged_graph,
     build_theta_graph,
+    bulk_insert,
     greedy,
     greedy_batch,
 )
@@ -45,7 +50,9 @@ __all__ = [
     "build_gnet",
     "build_merged_graph",
     "build_theta_graph",
+    "bulk_insert",
     "compute_ground_truth",
+    "compute_ground_truth_k",
     "greedy",
     "greedy_batch",
     "measure_queries",

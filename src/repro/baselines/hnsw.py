@@ -18,20 +18,34 @@ Implementation follows the published algorithm:
 The structure exposes its level-0 adjacency as a
 :class:`~repro.graphs.base.ProximityGraph` so the paper's greedy/navigability
 machinery can interrogate it directly.
+
+``batch_size`` selects the :func:`~repro.graphs.engine.bulk_insert` wave
+schedule: a whole wave descends the hierarchy in lockstep (one vectorized
+:func:`~repro.graphs.engine.construction_beam_batch` per layer per wave
+against frozen per-layer snapshots) before committing member-by-member.
+``batch_size=1`` is edge-identical to the sequential build.  The one
+deviation of the wave path from the published algorithm: each layer's
+beam is seeded with the single best vertex found at the layer above
+rather than the full ``ef`` pool (the pool lives per-query inside the
+lockstep engine); the recall benches show no measurable quality loss.
 """
 
 from __future__ import annotations
 
 import heapq
 import math
-from typing import Any
+from typing import Any, Sequence
 
 import numpy as np
 
 from repro.graphs.base import ProximityGraph
+from repro.graphs.engine import bulk_insert, construction_beam_batch, snapshot_graph
 from repro.metrics.base import Dataset
 
 __all__ = ["HNSWIndex"]
+
+# A wave member's located pools: (target_level, {level: [(distance, id)]}).
+_WavePool = tuple[int, dict[int, list[tuple[float, int]]]]
 
 
 class HNSWIndex:
@@ -46,6 +60,9 @@ class HNSWIndex:
     use_heuristic:
         Apply the diversity-select rule (Algorithm 4 of [22]) instead of
         plain nearest-``M`` selection.
+    batch_size:
+        ``None`` for the sequential reference build; an integer ``k``
+        for the wave schedule (``k=1`` is edge-identical to sequential).
     """
 
     def __init__(
@@ -55,21 +72,29 @@ class HNSWIndex:
         m: int = 8,
         ef_construction: int = 64,
         use_heuristic: bool = True,
+        batch_size: int | None = None,
     ):
         if m < 2:
             raise ValueError("M must be at least 2")
+        if batch_size is not None and batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
         self.dataset = dataset
         self.m = int(m)
         self.m_max0 = 2 * self.m
         self.ef_construction = int(ef_construction)
         self.use_heuristic = bool(use_heuristic)
+        self.batch_size = batch_size
         self._ml = 1.0 / math.log(self.m)
         # adjacency[level][node] -> list of neighbor ids
         self._adj: list[dict[int, list[int]]] = []
         self.entry_point: int | None = None
         self._node_level: dict[int, int] = {}
-        for pid in range(dataset.n):
-            self._insert(pid, rng)
+        self._rng = rng
+        if batch_size is None:
+            for pid in range(dataset.n):
+                self._insert(pid, rng)
+        else:
+            bulk_insert(self, range(dataset.n), batch_size)
 
     # ------------------------------------------------------------------
 
@@ -94,6 +119,9 @@ class HNSWIndex:
 
     def _distance(self, q: Any, node: int) -> float:
         return self.dataset.distance_to_query(q, node)
+
+    def _draw_level(self, rng: np.random.Generator) -> int:
+        return int(-math.log(max(rng.random(), 1e-300)) * self._ml)
 
     def _search_layer(
         self, q: Any, entry: list[int], ef: int, level: int
@@ -128,31 +156,41 @@ class HNSWIndex:
     ) -> list[int]:
         """Top-``m`` selection; with the heuristic, prefer candidates
         closer to the base point than to any already-selected neighbor
-        (diversity rule)."""
-        if not self.use_heuristic:
+        (diversity rule).  All candidate-to-candidate distances come
+        from one vectorized cross-distance matrix, so the greedy scan
+        itself is pure Python over floats."""
+        if not self.use_heuristic or len(candidates) <= 1:
             return [v for _, v in candidates[:m]]
-        selected: list[tuple[float, int]] = []
-        for d, v in candidates:
+        ids = np.fromiter(
+            (v for _, v in candidates), dtype=np.intp, count=len(candidates)
+        )
+        pts = self.dataset.points[ids]
+        rows = self.dataset.metric.cross_distances(pts, pts).tolist()
+        selected: list[int] = []  # indices into candidates
+        for j, (d, _v) in enumerate(candidates):
             if len(selected) >= m:
                 break
-            ok = True
-            for _, u in selected:
-                if self.dataset.distance(u, v) < d:
-                    ok = False
-                    break
-            if ok:
-                selected.append((d, v))
+            if any(rows[u][j] < d for u in selected):
+                continue
+            selected.append(j)
         if len(selected) < m:
-            chosen = {v for _, v in selected}
-            for d, v in candidates:
+            chosen = set(selected)
+            for j in range(len(candidates)):
                 if len(selected) >= m:
                     break
-                if v not in chosen:
-                    selected.append((d, v))
-        return [v for _, v in selected]
+                if j not in chosen:
+                    selected.append(j)
+        return [int(ids[j]) for j in selected]
+
+    def _cap_degree(self, v: int, nbrs: list[int], m_max: int) -> list[int]:
+        """Re-select an overflowing adjacency list back to ``m_max``."""
+        uniq = np.array(sorted(set(nbrs)), dtype=np.intp)
+        dists = self.dataset.distances_from_index(v, uniq)
+        pairs = sorted(zip(dists.tolist(), uniq.tolist()))
+        return self._select_neighbors(pairs, m_max)
 
     def _insert(self, pid: int, rng: np.random.Generator) -> None:
-        level = int(-math.log(max(rng.random(), 1e-300)) * self._ml)
+        level = self._draw_level(rng)
         self._node_level[pid] = level
         while len(self._adj) <= level:
             self._adj.append({})
@@ -172,18 +210,98 @@ class HNSWIndex:
         for lvl in range(min(level, self.max_level), -1, -1):
             found = self._search_layer(q, entry, self.ef_construction, lvl)
             found = [(d, v) for d, v in found if v != pid]
-            m_max = self.m_max0 if lvl == 0 else self.m
-            chosen = self._select_neighbors(found, self.m)
-            self._adj[lvl][pid] = list(chosen)
-            for v in chosen:
-                nbrs = self._adj[lvl].setdefault(v, [])
-                nbrs.append(pid)
-                if len(nbrs) > m_max:
-                    pairs = sorted(
-                        (self.dataset.distance(v, u), u) for u in set(nbrs)
-                    )
-                    self._adj[lvl][v] = self._select_neighbors(pairs, m_max)
+            self._link(pid, lvl, found)
             entry = [v for _, v in found] or entry
+        if level > self._node_level.get(self.entry_point, 0):
+            self.entry_point = pid
+
+    def _link(self, pid: int, lvl: int, found: list[tuple[float, int]]) -> None:
+        """Select ``M`` neighbors for ``pid`` at ``lvl``, link both ways,
+        and prune any overflowing reverse adjacency."""
+        m_max = self.m_max0 if lvl == 0 else self.m
+        chosen = self._select_neighbors(found, self.m)
+        self._adj[lvl][pid] = list(chosen)
+        for v in chosen:
+            nbrs = self._adj[lvl].setdefault(v, [])
+            nbrs.append(pid)
+            if len(nbrs) > m_max:
+                self._adj[lvl][v] = self._cap_degree(v, nbrs, m_max)
+
+    # ------------------------------------------------------------------
+    # WaveInserter protocol (repro.graphs.engine.bulk_insert)
+    # ------------------------------------------------------------------
+
+    def insert_one(self, pid: int) -> None:
+        self._insert(int(pid), self._rng)
+
+    def locate_wave(self, pids: Sequence[int]) -> list[_WavePool | None]:
+        """Lockstep multi-layer candidate location for a whole wave.
+
+        Levels are drawn for the wave in insertion order (identical rng
+        consumption to the sequential build), then the wave descends the
+        frozen per-layer snapshots together: one ``beam_width=1`` batch
+        for the members still above their target level, one
+        ``ef_construction`` batch for the members collecting candidates.
+        """
+        pids = [int(p) for p in pids]
+        pools: list[_WavePool | None] = []
+        if self.entry_point is None:
+            self._insert(pids[0], self._rng)  # seeds the hierarchy
+            pools.append(None)
+            pids = pids[1:]
+        if not pids:
+            return pools
+        levels = [self._draw_level(self._rng) for _ in pids]
+        n = self.dataset.n
+        snap_max = self.max_level
+        layers = [
+            snapshot_graph(n, [self._adj[lvl].get(u, ()) for u in range(n)], sort=False)
+            for lvl in range(snap_max + 1)
+        ]
+        q_arr = self.dataset.points[np.asarray(pids, dtype=np.intp)]
+        entry = np.full(len(pids), self.entry_point, dtype=np.intp)
+        by_level: list[dict[int, list[tuple[float, int]]]] = [{} for _ in pids]
+        for lvl in range(snap_max, -1, -1):
+            desc = [i for i, tl in enumerate(levels) if tl < lvl]
+            ins = [i for i, tl in enumerate(levels) if tl >= lvl]
+            if desc:
+                idx = np.asarray(desc, dtype=np.intp)
+                found = construction_beam_batch(
+                    layers[lvl], self.dataset, entry[idx], q_arr[idx],
+                    beam_width=1,
+                )
+                for i, (ids, _d) in zip(desc, found):
+                    entry[i] = ids[0]
+            if ins:
+                idx = np.asarray(ins, dtype=np.intp)
+                found = construction_beam_batch(
+                    layers[lvl], self.dataset, entry[idx], q_arr[idx],
+                    beam_width=self.ef_construction,
+                )
+                for i, (ids, d) in zip(ins, found):
+                    by_level[i][lvl] = list(zip(d.tolist(), ids.tolist()))
+                    entry[i] = ids[0]
+        pools += [(levels[i], by_level[i]) for i in range(len(pids))]
+        return pools
+
+    def commit(self, pid: int, pool: _WavePool | None) -> None:
+        if pool is None:  # first point of the build, already inserted
+            return
+        pid = int(pid)
+        level, by_level = pool
+        self._node_level[pid] = level
+        while len(self._adj) <= level:
+            self._adj.append({})
+        q = self.dataset.points[pid]
+        for lvl in range(level, -1, -1):
+            pairs = by_level.get(lvl)
+            if pairs is None:
+                # A brand-new top level above the snapshot: seeded by the
+                # current global entry point, as in the sequential build.
+                e = int(self.entry_point)
+                pairs = [(self._distance(q, e), e)]
+            found = [(d, v) for d, v in pairs if v != pid]
+            self._link(pid, lvl, found)
         if level > self._node_level.get(self.entry_point, 0):
             self.entry_point = pid
 

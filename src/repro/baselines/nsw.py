@@ -5,16 +5,22 @@ lists.  Points are inserted in random order; each new point is linked
 bidirectionally to its ``m`` (approximate) nearest current members, found
 by beam search on the graph built so far.  Early random insertions create
 long-range "small world" links; no worst-case guarantee exists.
+
+``batch_size`` selects the :func:`~repro.graphs.engine.bulk_insert` wave
+schedule: each wave's candidates are found with one vectorized lockstep
+:func:`~repro.graphs.engine.construction_beam_batch` against the frozen
+prefix graph.  ``batch_size=1`` is edge-identical to the sequential build.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any
+from typing import Any, Sequence
 
 import numpy as np
 
 from repro.graphs.base import ProximityGraph
+from repro.graphs.engine import bulk_insert, construction_beam_batch, snapshot_graph
 from repro.metrics.base import Dataset
 
 __all__ = ["NSWIndex"]
@@ -29,16 +35,24 @@ class NSWIndex:
         rng: np.random.Generator,
         m: int = 8,
         ef_construction: int = 32,
+        batch_size: int | None = None,
     ):
         if m < 1:
             raise ValueError("m must be at least 1")
+        if batch_size is not None and batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
         self.dataset = dataset
         self.m = int(m)
         self.ef_construction = int(ef_construction)
+        self.batch_size = batch_size
         self._adj: list[set[int]] = [set() for _ in range(dataset.n)]
         self._members: list[int] = []
-        for pid in rng.permutation(dataset.n):
-            self._insert(int(pid))
+        order = rng.permutation(dataset.n)
+        if batch_size is None:
+            for pid in order:
+                self._insert(int(pid))
+        else:
+            bulk_insert(self, order, batch_size)
 
     def _insert(self, pid: int) -> None:
         if self._members:
@@ -72,6 +86,52 @@ class NSWIndex:
                     if len(best) > ef:
                         heapq.heappop(best)
         return sorted((-d, v) for d, v in best)
+
+    # ------------------------------------------------------------------
+    # WaveInserter protocol (repro.graphs.engine.bulk_insert)
+    # ------------------------------------------------------------------
+
+    def insert_one(self, pid: int) -> None:
+        self._insert(int(pid))
+
+    def locate_wave(
+        self, pids: Sequence[int]
+    ) -> list[list[tuple[float, int]] | None]:
+        """Lockstep candidate location for a wave.
+
+        The very first insertion of the whole build has no prefix to
+        search, so it is inserted on the spot (its pool is ``None`` and
+        :meth:`commit` is a no-op for it); the rest of the wave beams
+        against the prefix that includes it.
+        """
+        pids = [int(p) for p in pids]
+        pools: list[list[tuple[float, int]] | None] = []
+        if not self._members:
+            self._insert(pids[0])
+            pools.append(None)
+            pids = pids[1:]
+        if pids:
+            idx = np.asarray(pids, dtype=np.intp)
+            prefix = snapshot_graph(self.dataset.n, self._adj, sort=False)
+            ef = max(self.ef_construction, self.m)
+            found = construction_beam_batch(
+                prefix,
+                self.dataset,
+                [self._members[0]] * len(idx),
+                self.dataset.points[idx],
+                beam_width=ef,
+            )
+            pools += [list(zip(d.tolist(), v.tolist())) for v, d in found]
+        return pools
+
+    def commit(self, pid: int, pool: list[tuple[float, int]] | None) -> None:
+        if pool is None:  # first point of the build, already inserted
+            return
+        pid = int(pid)
+        for _, v in pool[: self.m]:
+            self._adj[pid].add(v)
+            self._adj[v].add(pid)
+        self._members.append(pid)
 
     # ------------------------------------------------------------------
 

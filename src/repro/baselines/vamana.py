@@ -14,16 +14,28 @@ trade the paper's Theorem 1.1 shows is unnecessary (near-linear build
 Included as a baseline so benches can show all three regimes:
 guaranteed-but-quadratic (diskann slow), fast-but-unguaranteed (vamana,
 HNSW), and fast-and-guaranteed (G_net).
+
+Construction runs in one of two schedules:
+
+* **sequential** (``batch_size=None``) — the reference loop: one scalar
+  beam search per insertion;
+* **batched** (``batch_size=k``) — the :func:`~repro.graphs.engine.bulk_insert`
+  wave schedule: each wave of ``k`` points is located with one lockstep
+  :func:`~repro.graphs.engine.beam_search_batch` against the frozen
+  prefix graph, then committed in order.  ``batch_size=1`` replays the
+  sequential insertions exactly (identical edges); larger waves trade a
+  little candidate staleness for vectorized distance evaluation.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any
+from typing import Any, Sequence
 
 import numpy as np
 
 from repro.graphs.base import ProximityGraph
+from repro.graphs.engine import bulk_insert, construction_beam_batch, snapshot_graph
 from repro.metrics.base import Dataset
 
 __all__ = ["VamanaIndex"]
@@ -41,6 +53,9 @@ class VamanaIndex:
     alpha:
         Pruning slack; the reference implementation uses 1.2 on the
         second pass and 1.0 on the first.
+    batch_size:
+        ``None`` for the sequential reference build; an integer ``k``
+        for the wave schedule (``k=1`` is edge-identical to sequential).
     """
 
     def __init__(
@@ -50,15 +65,19 @@ class VamanaIndex:
         max_degree: int = 16,
         beam_width: int = 48,
         alpha: float = 1.2,
+        batch_size: int | None = None,
     ):
         if max_degree < 2:
             raise ValueError("max_degree must be at least 2")
         if beam_width < max_degree:
             beam_width = max_degree
+        if batch_size is not None and batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
         self.dataset = dataset
         self.max_degree = int(max_degree)
         self.beam_width = int(beam_width)
         self.alpha = float(alpha)
+        self.batch_size = batch_size
         n = dataset.n
         self._adj: list[list[int]] = [[] for _ in range(n)]
         # Medoid approximation: the point closest to the centroid of a
@@ -69,12 +88,20 @@ class VamanaIndex:
             sample[np.argmin(dataset.metric.distances(coords_like[0], coords_like))]
         )
         self.entry_point = center_id
+        self._pass_alpha = 1.0
 
         order = rng.permutation(n)
         # Pass 1 (alpha = 1), pass 2 (alpha = self.alpha), as in [19].
-        for pass_alpha in (1.0, self.alpha):
-            for pid in order:
-                self._insert(int(pid), pass_alpha)
+        for pass_no, pass_alpha in enumerate((1.0, self.alpha)):
+            self._pass_alpha = pass_alpha
+            if batch_size is None:
+                for pid in order:
+                    self._insert(int(pid), pass_alpha)
+            else:
+                # Ramp waves only while the graph is filling up (pass 1);
+                # pass 2 re-inserts into a complete graph, where full
+                # waves are never stale enough to matter.
+                bulk_insert(self, order, batch_size, ramp=pass_no == 0)
 
     # ------------------------------------------------------------------
 
@@ -105,32 +132,108 @@ class VamanaIndex:
     ) -> list[int]:
         """The RobustPrune of [19]: keep the closest candidate, discard
         any candidate ``v`` with ``alpha * D(kept, v) <= D(pid, v)``."""
-        pool = sorted(set((d, v) for d, v in candidates if v != pid))
+        if not candidates:
+            return []
+        d_arr = np.fromiter(
+            (d for d, _ in candidates), dtype=np.float64, count=len(candidates)
+        )
+        v_arr = np.fromiter(
+            (v for _, v in candidates), dtype=np.intp, count=len(candidates)
+        )
+        return self._robust_prune_arrays(pid, v_arr, d_arr, alpha)
+
+    def _robust_prune_arrays(
+        self, pid: int, v_arr: np.ndarray, d_arr: np.ndarray, alpha: float
+    ) -> list[int]:
+        """Array-native RobustPrune.  Candidates need not be sorted or
+        unique; duplicates keep their smallest distance.  All
+        kept-to-candidate distances come from one cross-distance matrix
+        (a single BLAS call for coordinate metrics), so the greedy scan
+        below only does cheap row masking."""
+        order = np.lexsort((v_arr, d_arr))
+        v_s, d_s = v_arr[order], d_arr[order]
+        mask = v_s != pid
+        v_s, d_s = v_s[mask], d_s[mask]
+        if not len(v_s):
+            return []
+        # First occurrence per id in (d, v) order = its smallest distance.
+        _, first = np.unique(v_s, return_index=True)
+        if len(first) != len(v_s):
+            take = np.sort(first)
+            v_s, d_s = v_s[take], d_s[take]
+        mat = self.dataset.metric.pairwise(self.dataset.points[v_s])
+        alive = np.ones(len(v_s), dtype=bool)
         kept: list[int] = []
-        while pool and len(kept) < self.max_degree:
-            d_best, v_best = pool.pop(0)
-            kept.append(v_best)
-            survivors = []
-            for d, v in pool:
-                if alpha * self.dataset.distance(v_best, v) > d:
-                    survivors.append((d, v))
-            pool = survivors
+        pos, P = 0, len(v_s)
+        while len(kept) < self.max_degree:
+            while pos < P and not alive[pos]:
+                pos += 1
+            if pos >= P:
+                break
+            kept.append(int(v_s[pos]))
+            if len(kept) >= self.max_degree:
+                break
+            alive &= alpha * mat[pos] > d_s
+            pos += 1
         return kept
 
-    def _insert(self, pid: int, alpha: float) -> None:
-        q = self.dataset.points[pid]
-        found = self._beam(q, self.beam_width)
-        merged = found + [
-            (self.dataset.distance(pid, v), v) for v in self._adj[pid]
-        ]
-        self._adj[pid] = self._robust_prune(pid, merged, alpha)
+    def _commit_arrays(
+        self, pid: int, v_arr: np.ndarray, d_arr: np.ndarray, alpha: float
+    ) -> None:
+        """Neighbor selection + bidirectional linking for one insertion."""
+        if self._adj[pid]:
+            own = np.asarray(self._adj[pid], dtype=np.intp)
+            own_d = self.dataset.distances_from_index(pid, own)
+            v_arr = np.concatenate([v_arr, own])
+            d_arr = np.concatenate([d_arr, own_d])
+        self._adj[pid] = self._robust_prune_arrays(pid, v_arr, d_arr, alpha)
         for v in self._adj[pid]:
             nbrs = self._adj[v]
             if pid not in nbrs:
                 nbrs.append(pid)
                 if len(nbrs) > self.max_degree:
-                    pairs = [(self.dataset.distance(v, u), u) for u in nbrs]
-                    self._adj[v] = self._robust_prune(v, pairs, alpha)
+                    arr = np.asarray(nbrs, dtype=np.intp)
+                    dists = self.dataset.distances_from_index(v, arr)
+                    self._adj[v] = self._robust_prune_arrays(v, arr, dists, alpha)
+
+    def _insert(self, pid: int, alpha: float) -> None:
+        q = self.dataset.points[pid]
+        found = self._beam(q, self.beam_width)
+        self._commit_arrays(
+            pid,
+            np.fromiter((v for _, v in found), dtype=np.intp, count=len(found)),
+            np.fromiter((d for d, _ in found), dtype=np.float64, count=len(found)),
+            alpha,
+        )
+
+    # ------------------------------------------------------------------
+    # WaveInserter protocol (repro.graphs.engine.bulk_insert)
+    # ------------------------------------------------------------------
+
+    def insert_one(self, pid: int) -> None:
+        self._insert(int(pid), self._pass_alpha)
+
+    def locate_wave(
+        self, pids: Sequence[int]
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """One vectorized lockstep beam for the whole wave against the
+        frozen prefix adjacency; returns ``(ids, distances)`` pools,
+        ascending by distance."""
+        idx = np.asarray(pids, dtype=np.intp)
+        prefix = snapshot_graph(self.dataset.n, self._adj, sort=False)
+        return construction_beam_batch(
+            prefix,
+            self.dataset,
+            [self.entry_point] * len(idx),
+            self.dataset.points[idx],
+            beam_width=self.beam_width,
+        )
+
+    def commit(self, pid: int, pool: tuple[np.ndarray, np.ndarray]) -> None:
+        v_arr, d_arr = pool
+        self._commit_arrays(
+            int(pid), np.asarray(v_arr, dtype=np.intp), d_arr, self._pass_alpha
+        )
 
     # ------------------------------------------------------------------
 

@@ -6,12 +6,17 @@ graphs from the shell.
     python -m repro stats   points.npy graph.npz
     python -m repro validate points.npy graph.npz --queries 200
     python -m repro bench-throughput points.npy --method vamana --queries 1000
+    python -m repro bench-build points.npy --method vamana --batch-size 500
+    python -m repro save-index points.npy index.npz --method vamana
+    python -m repro load-index index.npz --q 0.25 0.75
     python -m repro builders
 
-Points files are ``.npy`` arrays of shape ``(n, d)``.  Graphs persist in
-the library's ``.npz`` CSR format next to a ``.json`` metadata sidecar
-(method, epsilon, normalization factor) so ``query``/``validate`` can
-reconstruct the exact search setting.
+Points files are ``.npy`` arrays of shape ``(n, d)``.  Bare graphs
+persist in the library's ``.npz`` CSR format next to a ``.json``
+metadata sidecar (method, epsilon, normalization factor) so
+``query``/``validate`` can reconstruct the exact search setting; a
+*full index* (graph + points + provenance in one self-contained file)
+persists via ``save-index``/``load-index``.
 """
 
 from __future__ import annotations
@@ -24,10 +29,11 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.core.builders import available_builders, build
-from repro.core.stats import measure_queries, timed
+from repro.core.builders import BATCHED_BUILDERS, available_builders, build
+from repro.core.index import ProximityGraphIndex
+from repro.core.stats import compute_ground_truth_k, measure_queries, timed
 from repro.graphs.base import ProximityGraph
-from repro.graphs.engine import greedy_batch
+from repro.graphs.engine import beam_search_batch, greedy_batch
 from repro.graphs.greedy import greedy
 from repro.graphs.navigability import find_violations
 from repro.metrics.base import Dataset
@@ -64,7 +70,10 @@ def _cmd_build(args: argparse.Namespace) -> int:
     dataset, factor = _dataset(points)
     rng = np.random.default_rng(args.seed)
     built, seconds = timed(
-        lambda: build(args.method, dataset, args.epsilon, rng)
+        lambda: build(
+            args.method, dataset, args.epsilon, rng,
+            batch_size=getattr(args, "batch_size", None),
+        )
     )
     built.graph.save(args.graph)
     meta = {
@@ -211,6 +220,91 @@ def _cmd_bench_throughput(args: argparse.Namespace) -> int:
     return 0 if identical in (None, True) else 1
 
 
+def _cmd_save_index(args: argparse.Namespace) -> int:
+    """Build a full index over a points file and persist it to one .npz."""
+    points = _load_points(args.points)
+    index, seconds = timed(
+        lambda: ProximityGraphIndex.build(
+            points,
+            epsilon=args.epsilon,
+            method=args.method,
+            seed=args.seed,
+            batch_size=args.batch_size,
+        )
+    )
+    written = index.save(args.index)
+    out = dict(index.stats())
+    out["build_seconds"] = round(seconds, 3)
+    out["index_file"] = str(written)
+    if args.batch_size is not None:
+        out["batch_size"] = args.batch_size
+    print(json.dumps(out, indent=2))
+    return 0
+
+
+def _cmd_load_index(args: argparse.Namespace) -> int:
+    """Load a saved index; print its stats, optionally answer a query."""
+    index = ProximityGraphIndex.load(args.index)
+    out = dict(index.stats())
+    if args.q is not None:
+        q = np.array(args.q, dtype=np.float64)
+        pairs = index.query_k(q, k=args.k, p_start=args.start)
+        out["query"] = [
+            {"point_id": pid, "distance": dist} for pid, dist in pairs
+        ]
+    print(json.dumps(out, indent=2))
+    return 0
+
+
+def _cmd_bench_build(args: argparse.Namespace) -> int:
+    """Sequential vs batched build of one insertion-based builder:
+    wall-clock build time plus recall of both graphs on one workload."""
+    points = _load_points(args.points)
+    dataset, _factor = _dataset(points)
+    rng = np.random.default_rng(args.seed)
+    queries = np.concatenate(
+        [
+            uniform_queries(args.queries // 2, points, rng),
+            near_data_queries(args.queries - args.queries // 2, points, rng),
+        ]
+    )
+    starts = rng.integers(dataset.n, size=len(queries))
+    gt, _gt_dists = compute_ground_truth_k(dataset, queries, k=args.k)
+
+    def recall(graph) -> float:
+        found = beam_search_batch(
+            graph, dataset, starts, queries, beam_width=max(args.k * 4, 32),
+            k=args.k,
+        )
+        hits = sum(
+            len({v for v, _ in pairs} & set(gt[i].tolist()))
+            for i, (pairs, _evals) in enumerate(found)
+        )
+        return hits / (len(queries) * args.k)
+
+    seq, seq_seconds = timed(
+        lambda: build(args.method, dataset, args.epsilon, np.random.default_rng(args.seed))
+    )
+    bat, bat_seconds = timed(
+        lambda: build(
+            args.method, dataset, args.epsilon, np.random.default_rng(args.seed),
+            batch_size=args.batch_size,
+        )
+    )
+    out = {
+        "method": args.method,
+        "n": dataset.n,
+        "batch_size": args.batch_size,
+        "sequential_seconds": round(seq_seconds, 3),
+        "batched_seconds": round(bat_seconds, 3),
+        "speedup": round(seq_seconds / bat_seconds, 2),
+        f"sequential_recall_at_{args.k}": round(recall(seq.graph), 4),
+        f"batched_recall_at_{args.k}": round(recall(bat.graph), 4),
+    }
+    print(json.dumps(out, indent=2))
+    return 0
+
+
 def _parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -227,7 +321,34 @@ def _parser() -> argparse.ArgumentParser:
     p.add_argument("--method", default="gnet", choices=available_builders())
     p.add_argument("--epsilon", type=float, default=0.5)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--batch-size", type=int, default=None,
+        help="wave size for the batched construction engine "
+        f"(insertion builders only: {sorted(BATCHED_BUILDERS)})",
+    )
     p.set_defaults(fn=_cmd_build)
+
+    p = sub.add_parser(
+        "save-index",
+        help="build a full index (graph + points + provenance) into one .npz",
+    )
+    p.add_argument("points")
+    p.add_argument("index", help="output index .npz path")
+    p.add_argument("--method", default="gnet", choices=available_builders())
+    p.add_argument("--epsilon", type=float, default=0.5)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--batch-size", type=int, default=None)
+    p.set_defaults(fn=_cmd_save_index)
+
+    p = sub.add_parser(
+        "load-index",
+        help="load a saved index; print stats and optionally answer a query",
+    )
+    p.add_argument("index")
+    p.add_argument("--q", type=float, nargs="+", default=None)
+    p.add_argument("--k", type=int, default=1)
+    p.add_argument("--start", type=int, default=None)
+    p.set_defaults(fn=_cmd_load_index)
 
     p = sub.add_parser("query", help="greedy (1+eps)-ANN query")
     p.add_argument("points")
@@ -268,6 +389,19 @@ def _parser() -> argparse.ArgumentParser:
         help="report only the batch engine (skip the slow scalar baseline)",
     )
     p.set_defaults(fn=_cmd_bench_throughput)
+
+    p = sub.add_parser(
+        "bench-build",
+        help="sequential vs batched construction: build time and recall",
+    )
+    p.add_argument("points")
+    p.add_argument("--method", default="vamana", choices=sorted(BATCHED_BUILDERS))
+    p.add_argument("--epsilon", type=float, default=0.5)
+    p.add_argument("--batch-size", type=int, default=500)
+    p.add_argument("--queries", type=int, default=200)
+    p.add_argument("--k", type=int, default=10)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_bench_build)
     return parser
 
 

@@ -1,17 +1,31 @@
 """Public API: the index facade, the builder registry, and measurement
 helpers."""
 
-from repro.core.builders import BuiltGraph, available_builders, build, register_builder
+from repro.core.builders import (
+    BATCHED_BUILDERS,
+    BuiltGraph,
+    available_builders,
+    build,
+    register_builder,
+)
 from repro.core.index import ProximityGraphIndex
-from repro.core.stats import QueryStats, compute_ground_truth, measure_queries, timed
+from repro.core.stats import (
+    QueryStats,
+    compute_ground_truth,
+    compute_ground_truth_k,
+    measure_queries,
+    timed,
+)
 
 __all__ = [
+    "BATCHED_BUILDERS",
     "BuiltGraph",
     "ProximityGraphIndex",
     "QueryStats",
     "available_builders",
     "build",
     "compute_ground_truth",
+    "compute_ground_truth_k",
     "measure_queries",
     "register_builder",
     "timed",

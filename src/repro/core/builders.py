@@ -28,7 +28,14 @@ from repro.graphs.merged import build_merged_graph
 from repro.graphs.theta import build_theta_graph, theta_for_epsilon
 from repro.metrics.base import Dataset
 
-__all__ = ["BuiltGraph", "BUILDERS", "build", "available_builders", "register_builder"]
+__all__ = [
+    "BuiltGraph",
+    "BUILDERS",
+    "BATCHED_BUILDERS",
+    "build",
+    "available_builders",
+    "register_builder",
+]
 
 
 @dataclass
@@ -61,15 +68,44 @@ def available_builders() -> list[str]:
     return sorted(BUILDERS)
 
 
+# Builders with an insertion loop the batched construction engine
+# (repro.graphs.engine.bulk_insert) can drive in waves.
+BATCHED_BUILDERS = frozenset({"hnsw", "nsw", "vamana", "diskann"})
+
+
 def build(
     name: str,
     dataset: Dataset,
     epsilon: float,
     rng: np.random.Generator | None = None,
+    batch_size: int | None = None,
     **options: Any,
 ) -> BuiltGraph:
+    """Build graph ``name`` over ``dataset``; returns it with provenance.
+
+    ``batch_size`` selects the batched construction engine for the
+    insertion-based builders (``hnsw``, ``nsw``, ``vamana``,
+    ``diskann``): points are inserted in waves of ``batch_size``, each
+    wave's candidates located with one lockstep beam search against the
+    frozen prefix graph and its distance work vectorized across the
+    wave.  ``batch_size=1`` reproduces the sequential build edge-for-edge;
+    larger waves build several times faster but locate candidates
+    against a prefix that is up to one wave stale, which can shave a
+    hair off recall — empirically < 0.01 recall@10 at ``batch_size <=
+    n/10`` (see ``benchmarks/bench_build_throughput.py`` and the recall
+    regression suite).  Passing ``batch_size`` to any other builder
+    raises ``ValueError``: the paper's constructions (gnet/theta/merged)
+    are not insertion-ordered, so the knob has no meaning there.
+    """
     if name not in BUILDERS:
         raise ValueError(f"unknown builder {name!r}; have {available_builders()}")
+    if batch_size is not None:
+        if name not in BATCHED_BUILDERS:
+            raise ValueError(
+                f"builder {name!r} does not support batched construction; "
+                f"batch_size applies to {sorted(BATCHED_BUILDERS)}"
+            )
+        options["batch_size"] = batch_size
     built = BUILDERS[name](
         dataset=dataset,
         epsilon=epsilon,

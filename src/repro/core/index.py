@@ -55,10 +55,12 @@ class ProximityGraphIndex:
         built: BuiltGraph,
         scale: float,
         rng: np.random.Generator,
+        seed: int = 0,
     ):
         self.dataset = dataset
         self.built = built
         self.scale = scale
+        self.seed = int(seed)
         self._rng = rng
 
     # ------------------------------------------------------------------
@@ -92,6 +94,10 @@ class ProximityGraphIndex:
             Rescale so the minimum inter-point distance is 2 (required by
             the paper's constructions; disable only if the input already
             satisfies it).
+
+        Extra options (including ``batch_size``, the batched
+        construction wave size for the insertion builders — see
+        :func:`repro.core.builders.build`) pass through to the builder.
         """
         rng = np.random.default_rng(seed)
         if metric is None:
@@ -102,7 +108,7 @@ class ProximityGraphIndex:
         if normalize:
             dataset, scale = normalize_min_distance(dataset)
         built = build(method, dataset, epsilon, rng, **options)
-        return cls(dataset=dataset, built=built, scale=scale, rng=rng)
+        return cls(dataset=dataset, built=built, scale=scale, rng=rng, seed=seed)
 
     # ------------------------------------------------------------------
 
@@ -191,6 +197,31 @@ class ProximityGraphIndex:
             [(pid, self._to_original(d)) for pid, d in pairs]
             for pairs, _evals in found
         ]
+
+    # ------------------------------------------------------------------
+    # Persistence (single-file .npz; see repro.core.persistence)
+    # ------------------------------------------------------------------
+
+    def save(self, path: Any) -> Any:
+        """Serialize this index to one ``.npz`` file.
+
+        The file holds the graph's CSR arrays verbatim, the normalized
+        points, and a JSON header with the builder provenance, scale,
+        and metric spec — a loaded index answers ``query_batch`` with
+        identical ids and distances.  Indexes over non-coordinate
+        metrics (counting wrappers, tree metrics, explicit matrices)
+        raise :class:`NotImplementedError` instead of pickling.
+        """
+        from repro.core.persistence import save_index
+
+        return save_index(self, path)
+
+    @classmethod
+    def load(cls, path: Any) -> "ProximityGraphIndex":
+        """Load an index previously written by :meth:`save`."""
+        from repro.core.persistence import load_index
+
+        return load_index(path, cls)
 
     # ------------------------------------------------------------------
 

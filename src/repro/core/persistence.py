@@ -1,0 +1,223 @@
+"""Index persistence — one ``.npz`` per index, JSON header inside.
+
+A saved :class:`~repro.core.index.ProximityGraphIndex` is a single
+compressed ``.npz`` holding the graph's CSR arrays verbatim
+(``offsets``/``targets``), the normalized point coordinates, and a JSON
+header (builder name, epsilon, guarantee flag, normalization scale,
+metric spec, rng seed, and the JSON-safe slice of the builder's
+provenance ``meta``).  Loading reconstructs the metric from its spec,
+adopts the CSR arrays without per-row copies, and returns an index whose
+``query_batch`` answers are *identical* — same ids, same distances — to
+the index that was saved.
+
+Only **coordinate metrics** (Euclidean, Chebyshev, Minkowski, optionally
+wrapped in the normalization :class:`~repro.metrics.base.ScaledMetric`)
+have an on-disk form: their state is a handful of floats and the points
+array round-trips losslessly through ``.npz``.  Abstract metrics —
+:class:`~repro.metrics.counting.CountingMetric` (mutable counter),
+:class:`~repro.metrics.tree_metric.TreeMetric` and explicit-matrix
+spaces (id-based points) — raise :class:`NotImplementedError` from
+``save()`` rather than silently pickling objects whose identity cannot
+be restored faithfully.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.core.builders import BuiltGraph
+from repro.graphs.base import ProximityGraph
+from repro.graphs.gnet import GNetParameters
+from repro.metrics.base import Dataset, MetricSpace, ScaledMetric
+from repro.metrics.euclidean import ChebyshevMetric, EuclideanMetric, MinkowskiMetric
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.index import ProximityGraphIndex
+
+__all__ = [
+    "FORMAT_VERSION",
+    "metric_to_spec",
+    "metric_from_spec",
+    "save_index",
+    "load_index",
+]
+
+FORMAT_VERSION = 1
+
+# Tag for GNetParameters entries in the serialized meta (the one
+# provenance object stats() needs back as a real object).
+_GNET_PARAMS_TAG = "__gnet_parameters__"
+
+
+def metric_to_spec(metric: MetricSpace) -> dict[str, Any]:
+    """JSON spec of a coordinate metric, or ``NotImplementedError``.
+
+    The supported family is closed by construction: Euclidean /
+    Chebyshev / Minkowski leaves, optionally wrapped in a
+    :class:`ScaledMetric`.  Anything else (counting wrappers, tree
+    metrics, explicit matrices, user subclasses) has no faithful
+    on-disk form here and must not be pickled silently.
+    """
+    if isinstance(metric, EuclideanMetric):
+        return {"kind": "euclidean"}
+    if isinstance(metric, ChebyshevMetric):
+        return {"kind": "chebyshev"}
+    if isinstance(metric, MinkowskiMetric):
+        return {"kind": "minkowski", "p": float(metric.p)}
+    if isinstance(metric, ScaledMetric):
+        return {
+            "kind": "scaled",
+            "factor": float(metric.factor),
+            "inner": metric_to_spec(metric.inner),
+        }
+    raise NotImplementedError(
+        f"cannot save an index over {type(metric).__name__}: only coordinate "
+        "metrics (EuclideanMetric, ChebyshevMetric, MinkowskiMetric, "
+        "optionally ScaledMetric-wrapped) can be serialized"
+    )
+
+
+def metric_from_spec(spec: dict[str, Any]) -> MetricSpace:
+    """Inverse of :func:`metric_to_spec`."""
+    kind = spec.get("kind")
+    if kind == "euclidean":
+        return EuclideanMetric()
+    if kind == "chebyshev":
+        return ChebyshevMetric()
+    if kind == "minkowski":
+        return MinkowskiMetric(spec["p"])
+    if kind == "scaled":
+        return ScaledMetric(metric_from_spec(spec["inner"]), spec["factor"])
+    raise ValueError(f"unknown metric spec {spec!r}")
+
+
+def _sanitize_meta(meta: dict[str, Any]) -> tuple[dict[str, Any], list[str]]:
+    """Split builder provenance into (JSON-safe subset, dropped keys).
+
+    :class:`GNetParameters` is serialized through a tagged dict (it is a
+    frozen dataclass of numbers and the one meta object ``stats()``
+    consumes); plain JSON values pass through; everything else — net
+    hierarchies, cone families, numpy arrays — is dropped by key, with
+    the keys recorded so a loaded index can report what it lost.
+    """
+    kept: dict[str, Any] = {}
+    dropped: list[str] = []
+    for key, value in meta.items():
+        if isinstance(value, GNetParameters):
+            kept[key] = {_GNET_PARAMS_TAG: dataclasses.asdict(value)}
+            continue
+        if isinstance(value, (np.integer, np.floating, np.bool_)):
+            value = value.item()
+        try:
+            json.dumps(value)
+        except (TypeError, ValueError):
+            dropped.append(key)
+        else:
+            kept[key] = value
+    return kept, dropped
+
+
+def _rehydrate_meta(kept: dict[str, Any]) -> dict[str, Any]:
+    out: dict[str, Any] = {}
+    for key, value in kept.items():
+        if isinstance(value, dict) and _GNET_PARAMS_TAG in value:
+            out[key] = GNetParameters(**value[_GNET_PARAMS_TAG])
+        else:
+            out[key] = value
+    return out
+
+
+def save_index(index: "ProximityGraphIndex", path: str | Path) -> Path:
+    """Write ``index`` to ``path`` as a single ``.npz`` file.
+
+    Raises :class:`NotImplementedError` for indexes over non-coordinate
+    metrics (see the module docstring).  Returns the path written
+    (numpy appends ``.npz`` when missing).
+    """
+    spec = metric_to_spec(index.dataset.metric)
+    points = np.asarray(index.dataset.points)
+    if points.dtype == object or not np.issubdtype(points.dtype, np.number):
+        raise NotImplementedError(
+            "cannot save an index whose points are not a numeric coordinate "
+            f"array (got dtype {points.dtype})"
+        )
+    offsets, targets = index.graph.csr()
+    meta_kept, meta_dropped = _sanitize_meta(index.built.meta)
+    header = {
+        "format_version": FORMAT_VERSION,
+        "n": int(index.dataset.n),
+        "builder": index.built.name,
+        "epsilon": float(index.built.epsilon),
+        "guaranteed": bool(index.built.guaranteed),
+        "scale": float(index.scale),
+        "seed": int(getattr(index, "seed", 0)),
+        "metric": spec,
+        "meta": meta_kept,
+        "meta_dropped": meta_dropped,
+    }
+    path = Path(path)
+    np.savez_compressed(
+        path,
+        offsets=offsets.astype(np.int64, copy=False),
+        targets=targets.astype(np.int64, copy=False),
+        points=points,
+        header=np.frombuffer(
+            json.dumps(header).encode("utf-8"), dtype=np.uint8
+        ),
+    )
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_index(path: str | Path, cls: type | None = None) -> "ProximityGraphIndex":
+    """Load an index saved by :func:`save_index`.
+
+    The loaded index answers ``query_batch``/``query_k_batch`` with ids
+    and distances identical to the saved one: the CSR arrays are adopted
+    verbatim, the points array round-trips losslessly, and the scale and
+    metric constants survive JSON exactly (Python floats serialize
+    shortest-round-trip).  The query rng is re-seeded from the saved
+    build seed, so per-call random starts follow the same stream a
+    freshly built index would use.
+    """
+    if cls is None:
+        from repro.core.index import ProximityGraphIndex as cls
+    with np.load(Path(path), allow_pickle=False) as data:
+        header = json.loads(bytes(data["header"].tobytes()).decode("utf-8"))
+        version = header.get("format_version")
+        if version != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported index format version {version!r} "
+                f"(this build reads version {FORMAT_VERSION})"
+            )
+        n = int(header["n"])
+        graph = ProximityGraph.from_csr(
+            n,
+            data["offsets"].astype(np.int64),
+            data["targets"].astype(np.intp),
+            validate=True,
+        )
+        points = data["points"]
+    metric = metric_from_spec(header["metric"])
+    dataset = Dataset(metric, points)
+    built = BuiltGraph(
+        name=header["builder"],
+        graph=graph,
+        epsilon=float(header["epsilon"]),
+        guaranteed=bool(header["guaranteed"]),
+        meta=_rehydrate_meta(header["meta"]),
+    )
+    if header["meta_dropped"]:
+        built.meta["meta_dropped"] = list(header["meta_dropped"])
+    index = cls(
+        dataset=dataset,
+        built=built,
+        scale=float(header["scale"]),
+        rng=np.random.default_rng(int(header["seed"])),
+    )
+    index.seed = int(header["seed"])
+    return index

@@ -31,7 +31,13 @@ from repro.graphs.engine import greedy_batch
 from repro.graphs.greedy import greedy
 from repro.metrics.base import Dataset
 
-__all__ = ["QueryStats", "compute_ground_truth", "measure_queries", "timed"]
+__all__ = [
+    "QueryStats",
+    "compute_ground_truth",
+    "compute_ground_truth_k",
+    "measure_queries",
+    "timed",
+]
 
 # Chunk bound for the ground-truth cross-distance matrix (elements).
 _GT_CHUNK_ELEMENTS = 16_000_000
@@ -97,6 +103,36 @@ def compute_ground_truth(
             j = int(np.argmin(exact))
             ids[lo + r] = cand[j]
             dists[lo + r] = float(exact[j])
+    return ids, dists
+
+
+def compute_ground_truth_k(
+    dataset: Dataset, queries: Sequence[Any], k: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Exact top-``k`` NN ``(ids, distances)`` of every query, ``(m, k)``.
+
+    The recall@k oracle for the regression suite and the build bench.
+    Uses the chunked cross-distance path of :func:`compute_ground_truth`
+    with a row-wise partial sort; the tiny cancellation noise of the
+    Euclidean Gram expansion (~1e-8 absolute) can only permute ids at
+    exact distance ties, which recall@k treats as equivalent anyway.
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    k = min(k, dataset.n)
+    m = len(queries)
+    ids = np.empty((m, k), dtype=np.intp)
+    dists = np.empty((m, k), dtype=np.float64)
+    step = max(1, _GT_CHUNK_ELEMENTS // max(dataset.n, 1))
+    arr = queries if isinstance(queries, np.ndarray) else np.asarray(queries)
+    for lo in range(0, m, step):
+        hi = min(lo + step, m)
+        mat = dataset.metric.cross_distances(arr[lo:hi], dataset.points)
+        part = np.argpartition(mat, k - 1, axis=1)[:, :k]
+        rows = np.arange(hi - lo)[:, None]
+        order = np.argsort(mat[rows, part], axis=1, kind="stable")
+        ids[lo:hi] = np.take_along_axis(part, order, axis=1)
+        dists[lo:hi] = mat[rows, ids[lo:hi]]
     return ids, dists
 
 

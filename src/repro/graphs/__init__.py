@@ -6,7 +6,13 @@ Euclidean graph of Theorem 1.3)."""
 from repro.graphs.base import ProximityGraph
 from repro.graphs.cones import ConeFamily, build_cone_family
 from repro.graphs.dynamic import DynamicGNet
-from repro.graphs.engine import beam_search_batch, greedy_batch
+from repro.graphs.engine import (
+    beam_search_batch,
+    bulk_insert,
+    construction_beam_batch,
+    greedy_batch,
+    snapshot_graph,
+)
 from repro.graphs.gnet import (
     GNetBuildResult,
     GNetParameters,
@@ -45,6 +51,9 @@ __all__ = [
     "beam_search",
     "beam_search_batch",
     "build_cone_family",
+    "bulk_insert",
+    "construction_beam_batch",
+    "snapshot_graph",
     "build_gnet",
     "build_merged_graph",
     "build_theta_graph",

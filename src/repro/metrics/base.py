@@ -250,6 +250,9 @@ class ScaledMetric(MetricSpace):
     def cross_distances(self, queries: Any, batch: Any) -> np.ndarray:
         return self.factor * self.inner.cross_distances(queries, batch)
 
+    def pairwise(self, batch: Any) -> np.ndarray:
+        return self.factor * self.inner.pairwise(batch)
+
 
 class ExplicitMatrixMetric(MetricSpace):
     """A metric given by an explicit ``n x n`` distance matrix.

@@ -1,0 +1,312 @@
+"""Tests for the batched construction engine: the ``bulk_insert`` wave
+driver, the vectorized construction beam, and the builders' batched
+paths.
+
+The contract under test (ISSUE 2): ``batch_size=1`` must be
+*edge-identical* to the sequential inserter, and larger batches must
+hold the recall floors of the regression suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import HNSWIndex, NSWIndex, VamanaIndex
+from repro.baselines.diskann import build_diskann_slow
+from repro.core import build, compute_ground_truth_k
+from repro.graphs import (
+    ProximityGraph,
+    beam_search,
+    beam_search_batch,
+    bulk_insert,
+    construction_beam_batch,
+    snapshot_graph,
+)
+from repro.metrics import Dataset, EuclideanMetric
+from repro.metrics.scaling import normalize_min_distance
+from repro.workloads import gaussian_clusters, uniform_cube, uniform_queries
+
+
+def _dataset(n=150, dim=2, seed=5):
+    pts = uniform_cube(n, dim, np.random.default_rng(seed))
+    ds, _ = normalize_min_distance(Dataset(EuclideanMetric(), pts))
+    return ds
+
+
+# ----------------------------------------------------------------------
+# The wave driver
+# ----------------------------------------------------------------------
+
+
+class _RecordingInserter:
+    """Stub WaveInserter that records the driver's schedule."""
+
+    def __init__(self):
+        self.calls: list[tuple[str, list[int]]] = []
+        self.committed: list[int] = []
+
+    def insert_one(self, pid):
+        self.calls.append(("one", [pid]))
+        self.committed.append(pid)
+
+    def locate_wave(self, pids):
+        self.calls.append(("locate", list(pids)))
+        # The prefix visible to a wave must be exactly the committed set.
+        return [sorted(self.committed) for _ in pids]
+
+    def commit(self, pid, pool):
+        assert pid not in pool, "a wave member saw itself in the prefix"
+        assert pool == sorted(self.committed[: len(pool)])
+        self.committed.append(pid)
+
+
+class TestBulkInsertDriver:
+    def test_batch_size_one_uses_insert_one(self):
+        ins = _RecordingInserter()
+        waves = bulk_insert(ins, range(5), batch_size=1)
+        assert waves == 5
+        assert all(kind == "one" for kind, _ in ins.calls)
+        assert ins.committed == [0, 1, 2, 3, 4]
+
+    def test_ramp_schedule(self):
+        ins = _RecordingInserter()
+        bulk_insert(ins, range(40), batch_size=16)
+        sizes = [len(p) for _, p in ins.calls]
+        # Waves double with the prefix: 1, 1, 2, 4, 8, 16, then capped.
+        assert sizes == [1, 1, 2, 4, 8, 16, 8]
+        assert ins.committed == list(range(40))
+
+    def test_no_ramp_schedule(self):
+        ins = _RecordingInserter()
+        bulk_insert(ins, range(40), batch_size=16, ramp=False)
+        sizes = [len(p) for _, p in ins.calls]
+        assert sizes == [16, 16, 8]
+
+    def test_prefix_visibility(self):
+        # commit() itself asserts each wave located against the frozen
+        # prefix (everything committed before the wave, nothing in it).
+        ins = _RecordingInserter()
+        bulk_insert(ins, range(30), batch_size=8)
+        assert ins.committed == list(range(30))
+
+    def test_batch_size_validation(self):
+        with pytest.raises(ValueError):
+            bulk_insert(_RecordingInserter(), range(4), batch_size=0)
+
+    def test_pool_count_mismatch_rejected(self):
+        class Bad(_RecordingInserter):
+            def locate_wave(self, pids):
+                return [None]  # wrong arity
+
+        with pytest.raises(ValueError, match="pools"):
+            bulk_insert(Bad(), range(8), batch_size=4, ramp=False)
+
+
+# ----------------------------------------------------------------------
+# snapshot_graph
+# ----------------------------------------------------------------------
+
+
+class TestSnapshotGraph:
+    def test_matches_container_for_clean_rows(self):
+        rows = [[1, 2], [0], [], [0, 1, 2]]
+        snap = snapshot_graph(4, rows)
+        ref = ProximityGraph(4, [np.array(r, dtype=np.intp) for r in rows])
+        assert snap.frozen
+        assert snap == ref.freeze()
+
+    def test_sorts_rows_by_default(self):
+        snap = snapshot_graph(3, [[2, 1], [], [1, 0]])
+        assert list(snap.out_neighbors(0)) == [1, 2]
+        assert list(snap.out_neighbors(2)) == [0, 1]
+
+    def test_accepts_sets_and_arrays(self):
+        snap = snapshot_graph(3, [{2, 1}, np.array([0]), []])
+        assert snap.num_edges == 3
+
+    def test_row_count_validated(self):
+        with pytest.raises(ValueError):
+            snapshot_graph(3, [[1], [0]])
+
+
+# ----------------------------------------------------------------------
+# construction_beam_batch
+# ----------------------------------------------------------------------
+
+
+class TestConstructionBeam:
+    def test_exact_on_complete_graph(self):
+        """On the complete graph one expansion reveals every vertex, so
+        the pool must equal the exact top-ef neighbors."""
+        ds = _dataset(n=60)
+        g = build("complete", ds, 1.0).graph
+        rng = np.random.default_rng(3)
+        queries = uniform_queries(10, np.asarray(ds.points), rng)
+        starts = rng.integers(ds.n, size=10)
+        ef = 8
+        pools = construction_beam_batch(g, ds, starts, queries, beam_width=ef)
+        gt_ids, _ = compute_ground_truth_k(ds, queries, k=ef)
+        for (ids, dists), want in zip(pools, gt_ids):
+            assert sorted(ids.tolist()) == sorted(want.tolist())
+            assert list(dists) == sorted(dists)
+
+    def test_matches_scalar_beam_pools(self):
+        """On a navigable sparse graph the vectorized beam's pool should
+        agree with the scalar beam's pool for the same width."""
+        ds = _dataset(n=120)
+        g = build("vamana", ds, 1.0, np.random.default_rng(0), max_degree=8).graph
+        rng = np.random.default_rng(4)
+        queries = uniform_queries(15, np.asarray(ds.points), rng)
+        starts = rng.integers(ds.n, size=15)
+        pools = construction_beam_batch(g, ds, starts, queries, beam_width=12)
+        agree = 0
+        for i, (ids, _d) in enumerate(pools):
+            ref, _evals = beam_search(
+                g, ds, int(starts[i]), queries[i], beam_width=12, k=12
+            )
+            agree += set(ids.tolist()) == {v for v, _ in ref}
+        assert agree >= 13  # identical pools up to tie handling
+
+    def test_multi_expansion_matches_single(self):
+        ds = _dataset(n=120)
+        g = build("vamana", ds, 1.0, np.random.default_rng(0), max_degree=8).graph
+        rng = np.random.default_rng(4)
+        queries = uniform_queries(10, np.asarray(ds.points), rng)
+        starts = rng.integers(ds.n, size=10)
+        a = construction_beam_batch(g, ds, starts, queries, 12, expand_per_round=1)
+        b = construction_beam_batch(g, ds, starts, queries, 12, expand_per_round=4)
+        same = sum(
+            set(x[0].tolist()) == set(y[0].tolist()) for x, y in zip(a, b)
+        )
+        assert same >= 8  # speculative expansion may add, never lose, quality
+
+    def test_validation(self):
+        ds = _dataset(n=10)
+        g = build("knn", ds, 1.0, k=3).graph
+        with pytest.raises(ValueError):
+            construction_beam_batch(g, ds, [0], [ds.points[0]], beam_width=0)
+        with pytest.raises(ValueError):
+            construction_beam_batch(g, ds, [0, 1], [ds.points[0]], beam_width=4)
+
+
+# ----------------------------------------------------------------------
+# batch_size=1 bit-identity (3 seeds each, per the issue)
+# ----------------------------------------------------------------------
+
+
+class TestBatchOneEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_hnsw(self, seed):
+        ds = _dataset(seed=seed + 10)
+        seq = HNSWIndex(ds, np.random.default_rng(seed), m=6)
+        bat = HNSWIndex(ds, np.random.default_rng(seed), m=6, batch_size=1)
+        assert seq._adj == bat._adj  # every level, every adjacency list
+        assert seq.entry_point == bat.entry_point
+        assert seq._node_level == bat._node_level
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_vamana(self, seed):
+        ds = _dataset(seed=seed + 10)
+        seq = VamanaIndex(ds, np.random.default_rng(seed), max_degree=8)
+        bat = VamanaIndex(ds, np.random.default_rng(seed), max_degree=8, batch_size=1)
+        assert seq._adj == bat._adj
+        assert seq.graph() == bat.graph()
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_nsw(self, seed):
+        ds = _dataset(seed=seed + 10)
+        seq = NSWIndex(ds, np.random.default_rng(seed), m=5)
+        bat = NSWIndex(ds, np.random.default_rng(seed), m=5, batch_size=1)
+        assert seq._adj == bat._adj
+        assert seq._members == bat._members
+
+    def test_registry_batch_size_one(self):
+        ds = _dataset()
+        for name in ("hnsw", "nsw", "vamana"):
+            seq = build(name, ds, 1.0, np.random.default_rng(7))
+            bat = build(name, ds, 1.0, np.random.default_rng(7), batch_size=1)
+            assert seq.graph == bat.graph, name
+
+    def test_diskann_batch_rows_equivalent(self):
+        ds = _dataset(n=100)
+        seq = build_diskann_slow(ds, alpha=2.0)
+        bat = build_diskann_slow(ds, alpha=2.0, batch_size=32)
+        # The wave path only changes which kernel computes the distance
+        # rows; on generic (tie-free) inputs the edges are identical.
+        assert seq.graph == bat.graph
+
+
+# ----------------------------------------------------------------------
+# Larger batches: structural invariants + recall floor
+# ----------------------------------------------------------------------
+
+
+class TestBatchedQuality:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        pts = gaussian_clusters(400, 2, np.random.default_rng(8), clusters=6)
+        ds, _ = normalize_min_distance(Dataset(EuclideanMetric(), pts))
+        rng = np.random.default_rng(9)
+        queries = uniform_queries(100, pts, rng)
+        starts = rng.integers(ds.n, size=len(queries))
+        gt10, _ = compute_ground_truth_k(ds, queries, k=10)
+        return ds, queries, starts, gt10
+
+    def _recall10(self, graph, ds, queries, starts, gt10):
+        found = beam_search_batch(graph, ds, starts, queries, beam_width=40, k=10)
+        hits = sum(
+            len({v for v, _ in pairs} & set(gt10[i].tolist()))
+            for i, (pairs, _evals) in enumerate(found)
+        )
+        return hits / (len(queries) * 10)
+
+    # Floors sit just under the measured batched recall (hnsw 0.999,
+    # nsw 0.948, vamana 0.999 on this pinned workload).  Waves of 64 on
+    # 400 points are deliberately aggressive (16% of the set per wave);
+    # NSW pays the most because it has no second pass to repair stale
+    # links, which is exactly the trade the batch_size docstring states.
+    @pytest.mark.parametrize("name,opts,floor", [
+        ("hnsw", {"m": 8}, 0.97),
+        ("nsw", {"m": 8}, 0.92),
+        ("vamana", {"max_degree": 12}, 0.97),
+    ])
+    def test_recall_floor_at_batch_64(self, workload, name, opts, floor):
+        ds, queries, starts, gt10 = workload
+        built = build(name, ds, 1.0, np.random.default_rng(3), batch_size=64, **opts)
+        r = self._recall10(built.graph, ds, queries, starts, gt10)
+        assert r >= floor, f"{name} batched recall@10 = {r:.3f}"
+
+    def test_vamana_degree_cap_held(self, workload):
+        ds = workload[0]
+        built = build("vamana", ds, 1.0, np.random.default_rng(3),
+                      max_degree=12, batch_size=64)
+        assert built.graph.max_out_degree() <= 12
+
+    def test_hnsw_degree_cap_held(self, workload):
+        ds = workload[0]
+        index = HNSWIndex(ds, np.random.default_rng(3), m=5, batch_size=64)
+        g = index.base_layer_graph()
+        assert g.max_out_degree() <= 2 * 5 + 1
+
+    def test_nsw_symmetric(self, workload):
+        ds = workload[0]
+        index = NSWIndex(ds, np.random.default_rng(3), m=5, batch_size=64)
+        g = index.graph()
+        for u in range(0, g.n, 7):
+            for v in g.out_neighbors(u):
+                assert g.has_edge(int(v), u)
+
+    def test_batch_size_rejected_for_non_insertion_builders(self):
+        ds = _dataset()
+        with pytest.raises(ValueError, match="batched construction"):
+            build("gnet", ds, 1.0, batch_size=32)
+
+    def test_batch_size_validated(self):
+        ds = _dataset()
+        with pytest.raises(ValueError):
+            VamanaIndex(ds, np.random.default_rng(0), batch_size=0)
+        with pytest.raises(ValueError):
+            NSWIndex(ds, np.random.default_rng(0), batch_size=-1)
+        with pytest.raises(ValueError):
+            HNSWIndex(ds, np.random.default_rng(0), batch_size=0)
