@@ -1,0 +1,184 @@
+"""E11 — the mutable index: add-then-search recall and filtered search.
+
+The API redesign (ISSUE 3) made the index a mutable collection behind
+one ``search()`` entry point.  Two quality gates ride on that, both on
+the pinned 1k clustered workload of the recall-regression suite:
+
+* **add-then-search** — an index built over 80% of the points and grown
+  by ``add()`` to 100% must match a fresh full build's recall@10 within
+  0.02.  Incremental repair may not quietly degrade the graph.
+* **filtered search** — beam search under an ``allowed_ids`` mask must
+  reach what brute force finds on the masked subset (recall@10 floor),
+  at 50% and at 10% selectivity.  Tombstone exclusion is the same
+  mechanism, so this also gates ``delete()``.
+
+Results go to ``results/mutable_index.json`` (plus aligned text tables)
+— the committed acceptance record for the PR.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from benchmarks.conftest import RESULTS_DIR, write_table
+from repro import ProximityGraphIndex, SearchParams
+from repro.core import compute_ground_truth_k
+from repro.metrics import Dataset, EuclideanMetric
+from repro.workloads import gaussian_clusters, near_data_queries, uniform_queries
+
+EPS = 1.0
+N = 1000
+M_QUERIES = 200
+K = 10
+
+CONFIGS = {
+    "vamana": {"max_degree": 16},
+    "hnsw": {"m": 8, "ef_construction": 64},
+}
+
+
+def _workload():
+    pts = gaussian_clusters(N, 2, np.random.default_rng(2025), clusters=10)
+    rng = np.random.default_rng(7)
+    queries = np.concatenate(
+        [uniform_queries(100, pts, rng), near_data_queries(100, pts, rng)]
+    )
+    return pts, queries
+
+
+def _recall_at_k(index: ProximityGraphIndex, queries, gt: np.ndarray) -> float:
+    r = index.search(
+        queries, k=K, params=SearchParams(beam_width=64, seed=0)
+    )
+    hits = sum(
+        len(set(gt[i].tolist()) & set(r.ids[i].tolist()))
+        for i in range(len(queries))
+    )
+    return hits / (len(queries) * K)
+
+
+def test_add_then_search_recall(benchmark):
+    """Grown index vs fresh build: recall@10 within 0.02 (acceptance)."""
+    pts, queries = _workload()
+    ds = Dataset(EuclideanMetric(), pts)
+    gt, _ = compute_ground_truth_k(ds, queries, k=K)
+    cut = int(N * 0.8)
+
+    rows, records = [], {}
+    for name, opts in CONFIGS.items():
+        fresh = ProximityGraphIndex.build(
+            pts, epsilon=EPS, method=name, seed=42, **opts
+        )
+        grown = ProximityGraphIndex.build(
+            pts[:cut], epsilon=EPS, method=name, seed=42, **opts
+        )
+        grown.add(pts[cut:], batch_size=50)
+        assert grown.n == N
+
+        r_fresh = _recall_at_k(fresh, queries, gt)
+        r_grown = _recall_at_k(grown, queries, gt)
+        gap = r_fresh - r_grown
+        records[name] = {
+            "n": N,
+            "added_fraction": 0.2,
+            "fresh_recall_at_10": round(r_fresh, 4),
+            "grown_recall_at_10": round(r_grown, 4),
+            "gap": round(gap, 4),
+        }
+        rows.append([name, round(r_fresh, 4), round(r_grown, 4), round(gap, 4)])
+        assert gap <= 0.02, (
+            f"{name}: add() lost {gap:.4f} recall@10 vs a fresh build"
+        )
+
+    write_table(
+        "mutable_add_recall",
+        f"E11a: add-then-search vs fresh build (n={N}, 20% added, eps={EPS})",
+        ["method", "recall@10 fresh", "recall@10 grown", "gap"],
+        rows,
+        notes=(
+            "Grown = built over 800 points, then add() of the remaining 200 "
+            "through the wave-batched Vamana-style repair path (waves of 50). "
+            "Acceptance: gap <= 0.02.  Search: beam-64, seeded starts."
+        ),
+    )
+    _write_json("add_then_search", records)
+    benchmark.pedantic(
+        lambda: ProximityGraphIndex.build(
+            pts[:cut], epsilon=EPS, method="vamana", seed=42, max_degree=16
+        ).add(pts[cut:], batch_size=50),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_filtered_search_recall(benchmark):
+    """Filtered beam search vs brute force on the mask (acceptance)."""
+    pts, queries = _workload()
+    index = ProximityGraphIndex.build(
+        pts, epsilon=EPS, method="vamana", seed=42, max_degree=16
+    )
+    rng = np.random.default_rng(99)
+
+    rows, records = [], {}
+    for selectivity in (0.5, 0.1):
+        allowed = np.flatnonzero(rng.uniform(size=N) < selectivity)
+        sub = Dataset(EuclideanMetric(), pts[allowed])
+        gt_local, _ = compute_ground_truth_k(sub, queries, k=K)
+        gt = allowed[gt_local]  # back to external ids
+
+        r = index.search(
+            queries,
+            k=K,
+            params=SearchParams(allowed_ids=allowed, beam_width=64, seed=0),
+        )
+        allowed_set = set(allowed.tolist())
+        hits = 0
+        for i in range(len(queries)):
+            got = set(r.ids[i][r.ids[i] >= 0].tolist())
+            assert got <= allowed_set, "filter leaked a disallowed id"
+            hits += len(got & set(gt[i].tolist()))
+        recall = hits / (len(queries) * K)
+        records[f"selectivity_{selectivity}"] = {
+            "allowed": int(len(allowed)),
+            "recall_at_10_vs_masked_bruteforce": round(recall, 4),
+        }
+        rows.append([selectivity, len(allowed), round(recall, 4)])
+        assert recall >= 0.95, (
+            f"filtered recall@10 {recall:.4f} at selectivity {selectivity}"
+        )
+
+    write_table(
+        "mutable_filtered_recall",
+        f"E11b: filtered search vs masked brute force (n={N}, vamana, eps={EPS})",
+        ["selectivity", "allowed points", "recall@10 vs masked GT"],
+        rows,
+        notes=(
+            "allowed_ids masks are threaded into the beam engine: disallowed "
+            "vertices still route (navigability intact) but never enter the "
+            "result pool.  Ground truth = exact top-10 on the allowed subset. "
+            "Acceptance floor: 0.95 at both selectivities."
+        ),
+    )
+    _write_json("filtered_search", records)
+    benchmark.pedantic(
+        lambda: index.search(
+            queries,
+            k=K,
+            params=SearchParams(
+                allowed_ids=np.arange(0, N, 2), beam_width=64, seed=0
+            ),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def _write_json(key: str, record) -> None:
+    """Merge one record into results/mutable_index.json."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "mutable_index.json"
+    data = json.loads(path.read_text()) if path.exists() else {}
+    data[key] = record
+    path.write_text(json.dumps(data, indent=2) + "\n")

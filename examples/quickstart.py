@@ -30,14 +30,15 @@ def main() -> None:
     for key, value in index.stats().items():
         print(f"  {key:>22}: {value}")
 
-    # 3. Query.  Start vertex is arbitrary (the paper highlights this
-    #    flexibility); distances come back in the original units.
+    # 3. Query through the one front door: search().  Start vertex is
+    #    arbitrary (the paper highlights this flexibility); distances
+    #    come back in the original units.
     exact = Dataset(EuclideanMetric(), points)
     print("\nQueries (greedy vs exact):")
     worst_ratio = 1.0
     for _ in range(8):
         q = rng.uniform(size=2)
-        pid, dist = index.query(q)
+        pid, dist = index.search(q).top1()
         nn_id, nn_dist = exact.nearest_neighbor(q)
         ratio = dist / nn_dist if nn_dist > 0 else 1.0
         worst_ratio = max(worst_ratio, ratio)
@@ -50,10 +51,13 @@ def main() -> None:
     violations = index.validate(queries, stop_at=None)
     print(f"Navigability violations on 100 random queries: {len(violations)}")
 
-    # 5. Top-k via beam search (the practical extension every deployed
-    #    system uses on top of the greedy model).
+    # 5. Top-k: the same search() call with k > 1 switches to beam
+    #    search (the practical extension every deployed system uses on
+    #    top of the greedy model).  A whole batch works the same way —
+    #    search() returns (m, k) arrays of ids and distances.
     q = np.array([0.5, 0.5])
-    print(f"\nTop-5 near (0.5, 0.5): {[(p, round(d, 4)) for p, d in index.query_k(q, k=5)]}")
+    top5 = index.search(q, k=5)
+    print(f"\nTop-5 near (0.5, 0.5): {[(p, round(d, 4)) for p, d in top5.pairs(0)]}")
 
 
 if __name__ == "__main__":

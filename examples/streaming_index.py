@@ -67,9 +67,10 @@ def main() -> None:
 
     print(f"\n{audits} audits passed; the (1+eps) contract held at every prefix.")
     print(
-        "Deletions and full rebuild policies are future work — the paper's "
-        "bounds\nare about statics, the maintenance argument here is ours "
-        "(see module docstring)."
+        "The same machinery backs the index facade: a gnet "
+        "ProximityGraphIndex\ngrows guarantee-preservingly through "
+        "index.add(), and index.delete()/compact()\nhandle removals via "
+        "tombstones (see the README's mutable-index section)."
     )
 
 

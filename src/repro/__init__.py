@@ -21,6 +21,7 @@ Start with :class:`repro.ProximityGraphIndex`; drop to the subpackages
 
 from repro.core.builders import available_builders, build
 from repro.core.index import ProximityGraphIndex
+from repro.core.search import IdMap, SearchParams, SearchResult
 from repro.core.stats import (
     compute_ground_truth,
     compute_ground_truth_k,
@@ -42,9 +43,12 @@ __version__ = "1.0.0"
 __all__ = [
     "Dataset",
     "EuclideanMetric",
+    "IdMap",
     "MetricSpace",
     "ProximityGraph",
     "ProximityGraphIndex",
+    "SearchParams",
+    "SearchResult",
     "available_builders",
     "build",
     "build_gnet",

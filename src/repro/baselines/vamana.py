@@ -38,7 +38,54 @@ from repro.graphs.base import ProximityGraph
 from repro.graphs.engine import bulk_insert, construction_beam_batch, snapshot_graph
 from repro.metrics.base import Dataset
 
-__all__ = ["VamanaIndex"]
+__all__ = ["VamanaIndex", "robust_prune"]
+
+
+def robust_prune(
+    dataset: Dataset,
+    pid: int,
+    v_arr: np.ndarray,
+    d_arr: np.ndarray,
+    alpha: float,
+    max_degree: int,
+) -> list[int]:
+    """The RobustPrune of [19], array-native and builder-agnostic.
+
+    Keep the closest candidate, discard any candidate ``v`` with
+    ``alpha * D(kept, v) <= D(pid, v)``, repeat until ``max_degree``
+    neighbors are kept.  Candidates need not be sorted or unique;
+    duplicates keep their smallest distance.  All kept-to-candidate
+    distances come from one cross-distance matrix (a single BLAS call
+    for coordinate metrics), so the greedy scan below only does cheap
+    row masking.  Shared by :class:`VamanaIndex` and the index facade's
+    incremental ``add()`` repair path.
+    """
+    order = np.lexsort((v_arr, d_arr))
+    v_s, d_s = v_arr[order], d_arr[order]
+    mask = v_s != pid
+    v_s, d_s = v_s[mask], d_s[mask]
+    if not len(v_s):
+        return []
+    # First occurrence per id in (d, v) order = its smallest distance.
+    _, first = np.unique(v_s, return_index=True)
+    if len(first) != len(v_s):
+        take = np.sort(first)
+        v_s, d_s = v_s[take], d_s[take]
+    mat = dataset.metric.pairwise(dataset.points[v_s])
+    alive = np.ones(len(v_s), dtype=bool)
+    kept: list[int] = []
+    pos, P = 0, len(v_s)
+    while len(kept) < max_degree:
+        while pos < P and not alive[pos]:
+            pos += 1
+        if pos >= P:
+            break
+        kept.append(int(v_s[pos]))
+        if len(kept) >= max_degree:
+            break
+        alive &= alpha * mat[pos] > d_s
+        pos += 1
+    return kept
 
 
 class VamanaIndex:
@@ -145,37 +192,7 @@ class VamanaIndex:
     def _robust_prune_arrays(
         self, pid: int, v_arr: np.ndarray, d_arr: np.ndarray, alpha: float
     ) -> list[int]:
-        """Array-native RobustPrune.  Candidates need not be sorted or
-        unique; duplicates keep their smallest distance.  All
-        kept-to-candidate distances come from one cross-distance matrix
-        (a single BLAS call for coordinate metrics), so the greedy scan
-        below only does cheap row masking."""
-        order = np.lexsort((v_arr, d_arr))
-        v_s, d_s = v_arr[order], d_arr[order]
-        mask = v_s != pid
-        v_s, d_s = v_s[mask], d_s[mask]
-        if not len(v_s):
-            return []
-        # First occurrence per id in (d, v) order = its smallest distance.
-        _, first = np.unique(v_s, return_index=True)
-        if len(first) != len(v_s):
-            take = np.sort(first)
-            v_s, d_s = v_s[take], d_s[take]
-        mat = self.dataset.metric.pairwise(self.dataset.points[v_s])
-        alive = np.ones(len(v_s), dtype=bool)
-        kept: list[int] = []
-        pos, P = 0, len(v_s)
-        while len(kept) < self.max_degree:
-            while pos < P and not alive[pos]:
-                pos += 1
-            if pos >= P:
-                break
-            kept.append(int(v_s[pos]))
-            if len(kept) >= self.max_degree:
-                break
-            alive &= alpha * mat[pos] > d_s
-            pos += 1
-        return kept
+        return robust_prune(self.dataset, pid, v_arr, d_arr, alpha, self.max_degree)
 
     def _commit_arrays(
         self, pid: int, v_arr: np.ndarray, d_arr: np.ndarray, alpha: float

@@ -9,6 +9,10 @@ graphs from the shell.
     python -m repro bench-build points.npy --method vamana --batch-size 500
     python -m repro save-index points.npy index.npz --method vamana
     python -m repro load-index index.npz --q 0.25 0.75
+    python -m repro search index.npz --q 0.25 0.75 --k 10 --beam-width 32
+    python -m repro search index.npz --queries-file queries.npy --k 10
+    python -m repro add    index.npz points.npy
+    python -m repro delete index.npz --ids 3 17 29 --compact
     python -m repro builders
 
 Points files are ``.npy`` arrays of shape ``(n, d)``.  Bare graphs
@@ -31,6 +35,7 @@ import numpy as np
 
 from repro.core.builders import BATCHED_BUILDERS, available_builders, build
 from repro.core.index import ProximityGraphIndex
+from repro.core.search import SearchParams
 from repro.core.stats import compute_ground_truth_k, measure_queries, timed
 from repro.graphs.base import ProximityGraph
 from repro.graphs.engine import beam_search_batch, greedy_batch
@@ -256,6 +261,80 @@ def _cmd_load_index(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_search(args: argparse.Namespace) -> int:
+    """The unified front door from the shell: one query or a batch."""
+    index = ProximityGraphIndex.load(args.index)
+    if (args.q is None) == (args.queries_file is None):
+        raise SystemExit("pass exactly one of --q or --queries-file")
+    if args.q is not None:
+        queries = np.array(args.q, dtype=np.float64)
+    else:
+        queries = _load_points(args.queries_file)
+    params = SearchParams(
+        mode=args.mode,
+        beam_width=args.beam_width,
+        budget=args.budget,
+        seed=args.seed,
+        allowed_ids=args.allowed if args.allowed else None,
+    )
+    result, seconds = timed(lambda: index.search(queries, k=args.k, params=params))
+    out = {
+        "queries": result.m,
+        "k": result.k,
+        "mode": args.mode,
+        "seconds": round(seconds, 4),
+        "mean_distance_evals": round(float(result.evals.mean()), 1)
+        if result.m
+        else 0.0,
+        "results": [
+            [{"id": int(v), "distance": float(d)} for v, d in result.pairs(i)]
+            for i in range(result.m)
+        ],
+    }
+    print(json.dumps(out, indent=2))
+    return 0
+
+
+def _cmd_add(args: argparse.Namespace) -> int:
+    """Insert new points into a saved index and write it back."""
+    index = ProximityGraphIndex.load(args.index)
+    points = _load_points(args.points)
+    new_ids, seconds = timed(
+        lambda: index.add(
+            points,
+            ids=args.ids,
+            mode=args.mode,
+            batch_size=args.batch_size,
+        )
+    )
+    written = index.save(args.out or args.index)
+    out = dict(index.stats())
+    out["added"] = len(new_ids)
+    out["new_ids"] = [int(i) for i in new_ids[:20]]
+    out["add_seconds"] = round(seconds, 3)
+    out["index_file"] = str(written)
+    print(json.dumps(out, indent=2))
+    return 0
+
+
+def _cmd_delete(args: argparse.Namespace) -> int:
+    """Tombstone (and optionally compact away) points of a saved index."""
+    index = ProximityGraphIndex.load(args.index)
+    try:
+        removed = index.delete(args.ids)
+    except KeyError as exc:
+        raise SystemExit(str(exc))
+    if args.compact:
+        index.compact()
+    written = index.save(args.out or args.index)
+    out = dict(index.stats())
+    out["deleted"] = removed
+    out["compacted"] = bool(args.compact)
+    out["index_file"] = str(written)
+    print(json.dumps(out, indent=2))
+    return 0
+
+
 def _cmd_bench_build(args: argparse.Namespace) -> int:
     """Sequential vs batched build of one insertion-based builder:
     wall-clock build time plus recall of both graphs on one workload."""
@@ -349,6 +428,51 @@ def _parser() -> argparse.ArgumentParser:
     p.add_argument("--k", type=int, default=1)
     p.add_argument("--start", type=int, default=None)
     p.set_defaults(fn=_cmd_load_index)
+
+    p = sub.add_parser(
+        "search",
+        help="unified search over a saved index (single query or batch)",
+    )
+    p.add_argument("index")
+    p.add_argument("--q", type=float, nargs="+", default=None,
+                   help="one query point, inline")
+    p.add_argument("--queries-file", default=None,
+                   help="an (m, d) .npy batch of query points")
+    p.add_argument("--k", type=int, default=1)
+    p.add_argument("--mode", default="auto", choices=["auto", "greedy", "beam"])
+    p.add_argument("--beam-width", type=int, default=None)
+    p.add_argument("--budget", type=int, default=None,
+                   help="distance-evaluation cap per query")
+    p.add_argument("--seed", type=int, default=None,
+                   help="seed for default start vertices")
+    p.add_argument("--allowed", type=int, nargs="+", default=None,
+                   help="restrict results to these external ids")
+    p.set_defaults(fn=_cmd_search)
+
+    p = sub.add_parser(
+        "add", help="insert an (n, d) .npy of new points into a saved index"
+    )
+    p.add_argument("index")
+    p.add_argument("points")
+    p.add_argument("--ids", type=int, nargs="+", default=None,
+                   help="external ids for the new points (default: fresh)")
+    p.add_argument("--mode", default="auto",
+                   choices=["auto", "repair", "dynamic"])
+    p.add_argument("--batch-size", type=int, default=64)
+    p.add_argument("--out", default=None,
+                   help="write here instead of overwriting the index")
+    p.set_defaults(fn=_cmd_add)
+
+    p = sub.add_parser(
+        "delete", help="tombstone points of a saved index by external id"
+    )
+    p.add_argument("index")
+    p.add_argument("--ids", type=int, nargs="+", required=True)
+    p.add_argument("--compact", action="store_true",
+                   help="rebuild over the survivors instead of tombstoning")
+    p.add_argument("--out", default=None,
+                   help="write here instead of overwriting the index")
+    p.set_defaults(fn=_cmd_delete)
 
     p = sub.add_parser("query", help="greedy (1+eps)-ANN query")
     p.add_argument("points")

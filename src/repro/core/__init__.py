@@ -9,6 +9,7 @@ from repro.core.builders import (
     register_builder,
 )
 from repro.core.index import ProximityGraphIndex
+from repro.core.search import IdMap, SearchParams, SearchResult
 from repro.core.stats import (
     QueryStats,
     compute_ground_truth,
@@ -20,8 +21,11 @@ from repro.core.stats import (
 __all__ = [
     "BATCHED_BUILDERS",
     "BuiltGraph",
+    "IdMap",
     "ProximityGraphIndex",
     "QueryStats",
+    "SearchParams",
+    "SearchResult",
     "available_builders",
     "build",
     "compute_ground_truth",

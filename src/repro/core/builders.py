@@ -48,6 +48,10 @@ class BuiltGraph:
     guaranteed: bool  # does this construction carry a (1+eps)-PG proof?
     meta: dict[str, Any] = field(default_factory=dict)
     backend: Any = None  # native index object (HNSW/NSW) when applicable
+    # The exact keyword options the builder ran with — recorded by
+    # build() so a mutable index can replay the construction (compact()
+    # rebuilds over the surviving points with the same knobs).
+    options: dict[str, Any] = field(default_factory=dict)
 
 
 BuilderFn = Callable[..., BuiltGraph]
@@ -112,6 +116,7 @@ def build(
         rng=rng or np.random.default_rng(0),
         **options,
     )
+    built.options = dict(options)
     # Finished graphs are CSR-native: freeze the builder's mutable buffer
     # so queries gather from flat storage (mutation transparently thaws).
     built.graph.freeze()

@@ -6,47 +6,148 @@ Wraps the whole pipeline a user needs for (1+eps)-ANN search:
 2. normalize so the minimum inter-point distance is 2 (Section 2.1's
    convention; a pure rescaling, undone transparently on output),
 3. build a proximity graph with any registered builder,
-4. answer queries with the paper's greedy routine (optionally budgeted,
-   optionally beam-widened), reporting distances in *original* units.
+4. answer queries through one entry point — :meth:`search` — which
+   accepts a single query or a batch, routes everything through the
+   vectorized lockstep engine, and reports distances in *original*
+   units,
+5. mutate the collection in place: :meth:`add` grows it (wave-batched
+   graph repair, or true online net maintenance for ``gnet`` indexes),
+   :meth:`delete` tombstones points out of the result set, and
+   :meth:`compact` rebuilds to reclaim them — all under *stable
+   external ids* that survive every mutation and a ``save``/``load``
+   round trip.
 
 Example
 -------
 >>> import numpy as np
->>> from repro import ProximityGraphIndex
+>>> from repro import ProximityGraphIndex, SearchParams
 >>> rng = np.random.default_rng(7)
 >>> points = rng.uniform(size=(500, 2))
 >>> index = ProximityGraphIndex.build(points, epsilon=0.5, method="gnet")
->>> nn_id, dist = index.query(np.array([0.5, 0.5]))
+>>> result = index.search(np.array([0.5, 0.5]))          # single query
+>>> nn_id, dist = result.top1()
+>>> batch = index.search(rng.uniform(size=(64, 2)), k=10)  # (64, 10) ids
 """
 
 from __future__ import annotations
 
 import math
+import warnings
 from typing import Any, Sequence
 
 import numpy as np
 
 from repro.core.builders import BuiltGraph, build
+from repro.core.search import IdMap, SearchParams, SearchResult
 from repro.core.stats import QueryStats, measure_queries
 from repro.graphs.base import ProximityGraph
-from repro.graphs.engine import beam_search_batch, greedy_batch
-from repro.graphs.greedy import beam_search, greedy
+from repro.graphs.engine import (
+    beam_search_batch,
+    bulk_insert,
+    construction_beam_batch,
+    greedy_batch,
+    snapshot_graph,
+)
 from repro.graphs.navigability import NavigabilityViolation, find_violations
-from repro.metrics.base import Dataset, MetricSpace
-from repro.metrics.euclidean import EuclideanMetric
+from repro.metrics.base import Dataset, MetricSpace, ScaledMetric
+from repro.metrics.euclidean import ChebyshevMetric, EuclideanMetric, MinkowskiMetric
 from repro.metrics.scaling import normalize_min_distance
 
 __all__ = ["ProximityGraphIndex"]
 
 
+# Legacy query methods that already warned this process (the shims warn
+# exactly once per method, per the deprecation policy checked in CI).
+_DEPRECATION_WARNED: set[str] = set()
+
+
+def _warn_deprecated(name: str, hint: str) -> None:
+    if name in _DEPRECATION_WARNED:
+        return
+    _DEPRECATION_WARNED.add(name)
+    warnings.warn(
+        f"ProximityGraphIndex.{name}() is deprecated; use {hint}",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+class _RepairInserter:
+    """:class:`~repro.graphs.engine.WaveInserter` linking new points into
+    a finished graph.
+
+    Vamana-style incremental repair: each new point's candidate pool is
+    located by beam search over the current graph (vectorized per wave
+    by :func:`~repro.graphs.engine.bulk_insert`), its out-edges chosen
+    by RobustPrune, and backlinks added with overflow re-pruning.  Works
+    for any builder's graph — it only needs the dataset's distances —
+    which is what lets every index grow, at the price of the paper's
+    worst-case guarantee (the facade clears ``guaranteed`` on this
+    path; ``gnet`` indexes keep it via the dynamic-net path instead).
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        adj: list[list[int]],
+        entry: int,
+        max_degree: int,
+        beam_width: int,
+        alpha: float = 1.2,
+    ):
+        self.dataset = dataset
+        self._adj = adj
+        self.entry = int(entry)
+        self.max_degree = int(max_degree)
+        self.beam_width = int(beam_width)
+        self.alpha = float(alpha)
+
+    # -- WaveInserter protocol -----------------------------------------
+
+    def insert_one(self, pid: int) -> None:
+        self.commit(pid, self.locate_wave([pid])[0])
+
+    def locate_wave(self, pids: Sequence[int]) -> list[tuple[np.ndarray, np.ndarray]]:
+        idx = np.asarray(pids, dtype=np.intp)
+        prefix = snapshot_graph(len(self._adj), self._adj, sort=False)
+        return construction_beam_batch(
+            prefix,
+            self.dataset,
+            [self.entry] * len(idx),
+            self.dataset.points[idx],
+            beam_width=self.beam_width,
+        )
+
+    def commit(self, pid: int, pool: tuple[np.ndarray, np.ndarray]) -> None:
+        from repro.baselines.vamana import robust_prune
+
+        pid = int(pid)
+        v_arr = np.asarray(pool[0], dtype=np.intp)
+        d_arr = np.asarray(pool[1], dtype=np.float64)
+        self._adj[pid] = robust_prune(
+            self.dataset, pid, v_arr, d_arr, self.alpha, self.max_degree
+        )
+        for v in self._adj[pid]:
+            nbrs = self._adj[v]
+            if pid not in nbrs:
+                nbrs.append(pid)
+                if len(nbrs) > self.max_degree:
+                    arr = np.asarray(nbrs, dtype=np.intp)
+                    dists = self.dataset.distances_from_index(v, arr)
+                    self._adj[v] = robust_prune(
+                        self.dataset, v, arr, dists, self.alpha, self.max_degree
+                    )
+
+
 class ProximityGraphIndex:
-    """A built proximity-graph ANN index.
+    """A proximity-graph ANN index over a mutable, id-stable collection.
 
     Use :meth:`build` rather than the constructor.  Attributes of note:
     ``graph`` (the underlying :class:`ProximityGraph`), ``dataset`` (the
     normalized dataset), ``built`` (builder provenance, including
-    theoretical parameters in ``built.meta``), and ``scale`` (the
-    normalization factor; reported distances are already divided back).
+    theoretical parameters in ``built.meta``), ``scale`` (the
+    normalization factor; reported distances are already divided back),
+    and ``id_map`` (the stable external↔internal id translation).
     """
 
     def __init__(
@@ -56,12 +157,25 @@ class ProximityGraphIndex:
         scale: float,
         rng: np.random.Generator,
         seed: int = 0,
+        id_map: IdMap | None = None,
+        tombstones: np.ndarray | None = None,
     ):
         self.dataset = dataset
         self.built = built
         self.scale = scale
         self.seed = int(seed)
         self._rng = rng
+        self.id_map = id_map if id_map is not None else IdMap.identity(dataset.n)
+        if len(self.id_map) != dataset.n:
+            raise ValueError("id map must cover every point")
+        self._tombstones = (
+            np.asarray(tombstones, dtype=bool).copy()
+            if tombstones is not None
+            else np.zeros(dataset.n, dtype=bool)
+        )
+        if self._tombstones.shape != (dataset.n,):
+            raise ValueError("tombstone mask must cover every point")
+        self._dynamic = None  # DynamicGNet, after a gnet index's first add()
 
     # ------------------------------------------------------------------
 
@@ -74,6 +188,7 @@ class ProximityGraphIndex:
         metric: MetricSpace | None = None,
         normalize: bool = True,
         seed: int = 0,
+        ids: Sequence[int] | None = None,
         **options: Any,
     ) -> "ProximityGraphIndex":
         """Build an index over raw points.
@@ -94,6 +209,11 @@ class ProximityGraphIndex:
             Rescale so the minimum inter-point distance is 2 (required by
             the paper's constructions; disable only if the input already
             satisfies it).
+        ids:
+            Optional external id per point (unique integers).  Defaults
+            to ``0..n-1``.  External ids are what :meth:`search` returns
+            and what :meth:`delete` accepts, and they stay stable under
+            every mutation.
 
         Extra options (including ``batch_size``, the batched
         construction wave size for the insertion builders — see
@@ -108,7 +228,15 @@ class ProximityGraphIndex:
         if normalize:
             dataset, scale = normalize_min_distance(dataset)
         built = build(method, dataset, epsilon, rng, **options)
-        return cls(dataset=dataset, built=built, scale=scale, rng=rng, seed=seed)
+        id_map = IdMap(ids) if ids is not None else IdMap.identity(dataset.n)
+        if len(id_map) != dataset.n:
+            raise ValueError(
+                f"need exactly {dataset.n} external ids, got {len(id_map)}"
+            )
+        return cls(
+            dataset=dataset, built=built, scale=scale, rng=rng, seed=seed,
+            id_map=id_map,
+        )
 
     # ------------------------------------------------------------------
 
@@ -122,11 +250,366 @@ class ProximityGraphIndex:
 
     @property
     def n(self) -> int:
+        """Total vertex count, including tombstoned points."""
         return self.dataset.n
+
+    @property
+    def active_count(self) -> int:
+        """Points that searches may return (not tombstoned)."""
+        return int((~self._tombstones).sum())
+
+    @property
+    def tombstone_count(self) -> int:
+        return int(self._tombstones.sum())
 
     def _to_original(self, distance: float) -> float:
         return distance / self.scale
 
+    # ------------------------------------------------------------------
+    # The unified search entry point
+    # ------------------------------------------------------------------
+
+    def _point_rank(self) -> int:
+        return max(np.asarray(self.dataset.points).ndim - 1, 0)
+
+    def _normalize_queries(self, queries: Any) -> tuple[Any, bool]:
+        """Canonicalize to a batch array; flag whether input was single."""
+        if isinstance(queries, np.ndarray):
+            arr = queries
+        else:
+            try:
+                arr = np.asarray(queries)
+            except ValueError:  # ragged input
+                arr = np.empty(len(queries), dtype=object)
+                arr[:] = list(queries)
+        rank = self._point_rank()
+        if arr.size == 0 and arr.ndim <= max(rank, 1):
+            # An empty batch ([] or np.array([])) — never a single query.
+            shape = (0,) + np.asarray(self.dataset.points).shape[1:]
+            return np.empty(shape, dtype=np.float64), False
+        if arr.ndim == rank:
+            return arr[None] if rank else arr.reshape(1), True
+        return arr, False
+
+    def _allowed_mask(self, params: SearchParams) -> np.ndarray | None:
+        """Combined tombstone + filter mask, or ``None`` when inactive."""
+        if params.allowed_ids is None:
+            if not self._tombstones.any():
+                return None
+            return ~self._tombstones
+        mask = np.zeros(self.n, dtype=bool)
+        mask[self.id_map.to_internal_known(params.allowed_ids)] = True
+        mask &= ~self._tombstones
+        return mask
+
+    def search(
+        self,
+        queries: Any,
+        k: int = 1,
+        params: SearchParams | None = None,
+    ) -> SearchResult:
+        """Answer one query or a batch — the single front door.
+
+        Routes everything through the vectorized lockstep engine: the
+        paper's greedy routine for plain ``k=1`` searches, best-first
+        beam search otherwise (``k > 1``, an explicit ``beam_width``, or
+        an active filter).  Returns a :class:`SearchResult` with dense
+        ``(m, k)`` arrays of external ids and original-unit distances
+        plus per-query cost stats.  See :class:`SearchParams` for every
+        knob (budget, starts/seed, ``allowed_ids`` filtering).  Calls
+        with identical arguments return identical results: default start
+        vertices come from a fresh seeded generator, never shared state.
+        """
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        if params is None:
+            params = SearchParams()
+        Q, single = self._normalize_queries(queries)
+        m = len(Q)
+        allowed = self._allowed_mask(params)
+
+        mode = params.mode
+        if mode == "auto":
+            use_greedy = k == 1 and params.beam_width is None and allowed is None
+            mode = "greedy" if use_greedy else "beam"
+        if mode == "greedy" and k != 1:
+            raise ValueError(
+                "greedy returns a single neighbor; use mode='beam' (or "
+                "mode='auto') for k > 1"
+            )
+
+        ids = np.full((m, k), -1, dtype=np.int64)
+        dists = np.full((m, k), np.inf, dtype=np.float64)
+        evals = np.zeros(m, dtype=np.int64)
+        if m == 0 or (allowed is not None and not allowed.any()):
+            hops = np.zeros(m, dtype=np.int64) if mode == "greedy" else None
+            return SearchResult(ids, dists, evals, hops=hops, single=single)
+
+        if params.starts is not None:
+            starts = np.asarray(params.starts, dtype=np.intp)
+            if len(starts) != m:
+                raise ValueError("need exactly one start vertex per query")
+        else:
+            gen = np.random.default_rng(
+                self.seed if params.seed is None else params.seed
+            )
+            starts = gen.integers(self.n, size=m)
+
+        if mode == "greedy":
+            results = greedy_batch(
+                self.graph, self.dataset, starts, Q,
+                budget=params.budget, allowed=allowed,
+            )
+            ids[:, 0] = self.id_map.to_external([r.point for r in results])
+            dists[:, 0] = [self._to_original(r.distance) for r in results]
+            evals[:] = [r.distance_evals for r in results]
+            hops = np.fromiter(
+                (len(r.hops) for r in results), dtype=np.int64, count=m
+            )
+            return SearchResult(ids, dists, evals, hops=hops, single=single)
+
+        width = params.beam_width if params.beam_width is not None else max(2 * k, 16)
+        if allowed is not None:
+            # A pool wider than the admissible set can never fill, which
+            # would disable the beam bound and degenerate to exhaustive
+            # traversal; clamp so termination stays meaningful.
+            width = max(min(width, int(allowed.sum())), 1)
+        found = beam_search_batch(
+            self.graph, self.dataset, starts, Q,
+            beam_width=width, k=k, budget=params.budget, allowed=allowed,
+        )
+        for i, (pairs, ev) in enumerate(found):
+            evals[i] = ev
+            take = min(len(pairs), k)
+            if take:
+                ids[i, :take] = self.id_map.to_external([v for v, _ in pairs[:take]])
+                dists[i, :take] = [self._to_original(d) for _, d in pairs[:take]]
+        return SearchResult(ids, dists, evals, hops=None, single=single)
+
+    # ------------------------------------------------------------------
+    # Mutation: add / delete / compact
+    # ------------------------------------------------------------------
+
+    def add(
+        self,
+        points: Any,
+        ids: Sequence[int] | None = None,
+        mode: str = "auto",
+        batch_size: int = 64,
+    ) -> np.ndarray:
+        """Insert new points; returns their external ids.
+
+        ``mode`` selects how the graph absorbs them:
+
+        * ``"repair"`` — Vamana-style incremental repair, wave-batched
+          through :func:`~repro.graphs.engine.bulk_insert`: candidates
+          located by lockstep beam search, out-edges RobustPruned,
+          backlinks re-pruned on overflow.  Works for every builder and
+          metric, but forfeits the paper's worst-case guarantee
+          (``built.guaranteed`` drops to ``False``).
+        * ``"dynamic"`` — true online insertion via
+          :class:`~repro.graphs.dynamic.DynamicGNet`, maintaining
+          Theorem 1.1's net invariants so the (1+eps) guarantee
+          *survives*.  Only for ``gnet`` indexes over coordinate
+          metrics; the first call upgrades the index (an O(n) one-time
+          re-insertion, after which the graph is the dynamic net's —
+          equally guaranteed, not edge-identical to the static build).
+          Points closer than the normalized minimum distance or outside
+          the domain headroom are rejected *before* anything mutates.
+        * ``"auto"`` — ``"dynamic"`` where it applies, else ``"repair"``.
+          If the dynamic path rejects the batch (points closer than the
+          normalized minimum, or outside the domain headroom), auto
+          falls back to repair — the add succeeds, and
+          ``built.guaranteed`` records that the guarantee lapsed.
+          Force ``mode="dynamic"`` to get the rejection instead.
+
+        New points are given in original units, like :meth:`build`.
+        ``ids`` assigns their external ids (fresh ones by default).
+        """
+        if mode not in ("auto", "repair", "dynamic"):
+            raise ValueError(f"unknown add mode {mode!r}")
+        new_pts, _single = self._normalize_queries(points)
+        new_pts = np.asarray(new_pts)
+        count = len(new_pts)
+        if count == 0:
+            return np.empty(0, dtype=np.int64)
+        # Validate the prospective ids BEFORE any structure grows, so an
+        # id clash can never leave graph/dataset/id-map inconsistent.
+        self.id_map.check_assignable(count, ids)
+        if mode == "dynamic":
+            self._add_dynamic(new_pts)
+        elif mode == "repair" or not self._dynamic_feasible():
+            self._add_repair(new_pts, batch_size=batch_size)
+        else:
+            try:
+                self._add_dynamic(new_pts)
+            except ValueError:
+                # Batch (or upgrade) rejected by the net's preconditions;
+                # pre-validation left everything untouched, so the
+                # generic path can absorb the points instead.
+                self._add_repair(new_pts, batch_size=batch_size)
+        self._tombstones = np.concatenate(
+            [self._tombstones, np.zeros(count, dtype=bool)]
+        )
+        return self.id_map.assign(count, ids)
+
+    def _dynamic_feasible(self) -> bool:
+        if self.built.name != "gnet" or self._point_rank() != 1:
+            return False
+        metric = self.dataset.metric
+        inner = metric.inner if isinstance(metric, ScaledMetric) else metric
+        return isinstance(inner, (EuclideanMetric, ChebyshevMetric, MinkowskiMetric))
+
+    def _dynamic_factor(self) -> float:
+        metric = self.dataset.metric
+        return metric.factor if isinstance(metric, ScaledMetric) else 1.0
+
+    def _upgrade_dynamic(self) -> None:
+        """First dynamic add: adopt the collection into a DynamicGNet.
+
+        Coordinate norms are homogeneous, so scaling the *coordinates*
+        by the normalization factor reproduces the scaled metric's
+        distances under the plain inner metric — exactly the convention
+        :class:`DynamicGNet` requires.
+        """
+        from repro.graphs.dynamic import DynamicGNet
+
+        if not self._dynamic_feasible():
+            raise ValueError(
+                "mode='dynamic' requires a gnet index over a coordinate "
+                "metric; use mode='repair'"
+            )
+        metric = self.dataset.metric
+        inner = metric.inner if isinstance(metric, ScaledMetric) else metric
+        coords = np.asarray(self.dataset.points, dtype=np.float64)
+        coords = coords * self._dynamic_factor()
+        try:
+            self._dynamic = DynamicGNet.from_points(inner, coords, self.epsilon)
+        except ValueError as exc:
+            raise ValueError(
+                "cannot upgrade this index to online insertion "
+                f"({exc}); was it built with normalize=False over "
+                "unnormalized points?  Use add(..., mode='repair')."
+            ) from exc
+
+    def _add_dynamic(self, new_pts: np.ndarray) -> None:
+        if self._dynamic is None:
+            self._upgrade_dynamic()
+        net = self._dynamic
+        scaled = np.asarray(new_pts, dtype=np.float64) * self._dynamic_factor()
+        if scaled.ndim != 2 or scaled.shape[1] != net.dim:
+            raise ValueError(f"expected (c, {net.dim}) new points")
+        # Pre-validate the whole batch (against the net AND batch-mates)
+        # so a rejection leaves the index untouched.
+        for j, x in enumerate(scaled):
+            reason = net.rejection_reason(x)
+            if reason is None and j:
+                d = net.metric.distances(x, scaled[:j])
+                if float(d.min()) < net.min_distance:
+                    reason = (
+                        "insertion violates the declared minimum "
+                        "inter-point distance (within the added batch)"
+                    )
+            if reason is not None:
+                raise ValueError(f"cannot add point {j}: {reason}")
+        net.insert_many(scaled, prevalidated=True)
+        self._adopt_dynamic_state(new_pts)
+
+    def _adopt_dynamic_state(self, new_pts: np.ndarray) -> None:
+        points = np.concatenate([np.asarray(self.dataset.points), new_pts], axis=0)
+        self.dataset = Dataset(self.dataset.metric, points)
+        self.built.graph = self._dynamic.graph().freeze()
+        self.built.backend = None
+        # Static net provenance no longer describes the graph.
+        for stale in ("hierarchy", "level_sizes", "level_edge_counts"):
+            self.built.meta.pop(stale, None)
+        self.built.meta["params"] = self._dynamic.params
+        self.built.meta["dynamic"] = True
+        # The upgrade re-validated every point into a proper net, so the
+        # Theorem 1.1 guarantee holds for the whole collection — even if
+        # an earlier repair add had lapsed it.
+        self.built.guaranteed = True
+
+    def _add_repair(self, new_pts: np.ndarray, batch_size: int) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
+        n_old, count = self.dataset.n, len(new_pts)
+        points = np.concatenate([np.asarray(self.dataset.points), new_pts], axis=0)
+        dataset = Dataset(self.dataset.metric, points)
+        graph = self.graph
+        adj = [
+            [int(v) for v in graph.out_neighbors(u)] for u in range(n_old)
+        ] + [[] for _ in range(count)]
+        degree_cap = max(8, int(math.ceil(graph.mean_out_degree())))
+        # Entry point: the medoid of a sample — the sample member with
+        # the smallest summed distance to the rest (metric-generic).
+        sample = np.random.default_rng(self.seed).choice(
+            n_old, size=min(n_old, 256), replace=False
+        )
+        pair = dataset.metric.pairwise(dataset.points[sample])
+        entry = int(sample[np.argmin(pair.sum(axis=1))])
+        inserter = _RepairInserter(
+            dataset, adj, entry,
+            max_degree=degree_cap, beam_width=max(32, 2 * degree_cap),
+        )
+        bulk_insert(inserter, range(n_old, n_old + count), batch_size, ramp=False)
+        self.dataset = dataset
+        self.built.graph = snapshot_graph(len(adj), adj, sort=True)
+        self.built.backend = None
+        # Any dynamic net predates the repair and no longer mirrors the
+        # collection; the next dynamic add must re-upgrade from scratch.
+        self._dynamic = None
+        if self.built.guaranteed:
+            # Repair has no worst-case proof; be honest about it.
+            self.built.guaranteed = False
+        self.built.meta["repaired_inserts"] = (
+            int(self.built.meta.get("repaired_inserts", 0)) + count
+        )
+
+    def delete(self, ids: Any) -> int:
+        """Tombstone points by external id; returns how many were newly
+        deleted.
+
+        Tombstoned points stay in the graph as routing waypoints (so
+        navigability is unharmed) but are excluded from every result
+        set.  Unknown ids raise ``KeyError``; deleting an id twice is a
+        no-op.  Call :meth:`compact` to physically remove them.
+        """
+        internal = self.id_map.to_internal(ids)
+        newly = int((~self._tombstones[internal]).sum())
+        self._tombstones[internal] = True
+        return newly
+
+    def compact(self, seed: int | None = None) -> "ProximityGraphIndex":
+        """Rebuild over the surviving points, dropping tombstones.
+
+        Replays the original construction (same builder, epsilon, and
+        recorded options) on the survivors; external ids are preserved,
+        internal indices renumber densely.  A no-op without tombstones.
+        Returns ``self`` for chaining.
+        """
+        if not self._tombstones.any():
+            return self
+        keep = np.flatnonzero(~self._tombstones)
+        if len(keep) < 2:
+            raise ValueError(
+                "compacting would leave fewer than 2 points (the paper "
+                "assumes n >= 2); delete less or rebuild from scratch"
+            )
+        points = np.asarray(self.dataset.points)[keep]
+        dataset = Dataset(self.dataset.metric, points)
+        rng = np.random.default_rng(self.seed if seed is None else seed)
+        self.built = build(
+            self.built.name, dataset, self.epsilon, rng, **self.built.options
+        )
+        self.dataset = dataset
+        self.id_map = self.id_map.compact(keep)
+        self._tombstones = np.zeros(len(keep), dtype=bool)
+        self._dynamic = None
+        return self
+
+    # ------------------------------------------------------------------
+    # Legacy query methods — thin deprecation shims over search()
     # ------------------------------------------------------------------
 
     def query(
@@ -135,12 +618,19 @@ class ProximityGraphIndex:
         p_start: int | None = None,
         budget: int | None = None,
     ) -> tuple[int, float]:
-        """Greedy (1+eps)-ANN query; returns ``(point_id, distance)`` in
-        original distance units.  ``p_start`` defaults to a random vertex
-        (any choice is valid — Section 1.1)."""
+        """Greedy (1+eps)-ANN query; returns ``(point_id, distance)``.
+
+        .. deprecated:: 1.1
+            Use :meth:`search`; this shim delegates to
+            ``search(q, k=1, params=SearchParams(mode="greedy", ...))``
+            and returns bit-identical results.
+        """
+        _warn_deprecated("query", "search(q)")
         start = int(p_start) if p_start is not None else int(self._rng.integers(self.n))
-        result = greedy(self.graph, self.dataset, start, q, budget=budget)
-        return result.point, self._to_original(result.distance)
+        result = self.search(
+            q, k=1, params=SearchParams(mode="greedy", budget=budget, starts=[start])
+        )
+        return result.top1()
 
     def query_k(
         self,
@@ -148,19 +638,26 @@ class ProximityGraphIndex:
         k: int,
         beam_width: int | None = None,
         p_start: int | None = None,
+        budget: int | None = None,
     ) -> list[tuple[int, float]]:
-        """Top-``k`` search via beam search (practical extension)."""
-        start = int(p_start) if p_start is not None else int(self._rng.integers(self.n))
-        width = beam_width if beam_width is not None else max(2 * k, 16)
-        found, _evals = beam_search(
-            self.graph, self.dataset, start, q, beam_width=width, k=k
-        )
-        return [(pid, self._to_original(d)) for pid, d in found]
+        """Top-``k`` search via beam search.
 
-    # ------------------------------------------------------------------
-    # Batched queries (the vectorized engine; bit-identical to the
-    # per-query paths above, amortized over the whole batch)
-    # ------------------------------------------------------------------
+        .. deprecated:: 1.1
+            Use :meth:`search`; this shim delegates to
+            ``search(q, k=k, params=SearchParams(mode="beam", ...))``
+            and returns bit-identical results.  (``budget`` now works
+            here too — it is forwarded to the beam engine.)
+        """
+        _warn_deprecated("query_k", "search(q, k=k)")
+        start = int(p_start) if p_start is not None else int(self._rng.integers(self.n))
+        result = self.search(
+            q,
+            k=k,
+            params=SearchParams(
+                mode="beam", beam_width=beam_width, budget=budget, starts=[start]
+            ),
+        )
+        return result.pairs(0)
 
     def query_batch(
         self,
@@ -170,14 +667,25 @@ class ProximityGraphIndex:
     ) -> list[tuple[int, float]]:
         """Greedy (1+eps)-ANN for a whole query batch in lockstep.
 
-        Returns one ``(point_id, distance)`` pair per query, in original
-        distance units.  ``starts`` defaults to one random vertex per
-        query, mirroring :meth:`query`.
+        .. deprecated:: 1.1
+            Use :meth:`search`; this shim delegates to
+            ``search(queries, params=SearchParams(mode="greedy", ...))``
+            and returns bit-identical results.
         """
+        _warn_deprecated("query_batch", "search(queries)")
+        if len(queries) == 0:
+            return []
         if starts is None:
             starts = self._rng.integers(self.n, size=len(queries))
-        results = greedy_batch(self.graph, self.dataset, starts, queries, budget=budget)
-        return [(r.point, self._to_original(r.distance)) for r in results]
+        result = self.search(
+            queries,
+            k=1,
+            params=SearchParams(mode="greedy", budget=budget, starts=starts),
+        )
+        return [
+            (int(result.ids[i, 0]), float(result.distances[i, 0]))
+            for i in range(result.m)
+        ]
 
     def query_k_batch(
         self,
@@ -185,29 +693,41 @@ class ProximityGraphIndex:
         k: int,
         beam_width: int | None = None,
         starts: Sequence[int] | None = None,
+        budget: int | None = None,
     ) -> list[list[tuple[int, float]]]:
-        """Top-``k`` beam search for a whole query batch in lockstep."""
+        """Top-``k`` beam search for a whole query batch in lockstep.
+
+        .. deprecated:: 1.1
+            Use :meth:`search`; this shim delegates to
+            ``search(queries, k=k, params=SearchParams(mode="beam", ...))``
+            and returns bit-identical results.  (``budget`` now works
+            here too.)
+        """
+        _warn_deprecated("query_k_batch", "search(queries, k=k)")
+        if len(queries) == 0:
+            return []
         if starts is None:
             starts = self._rng.integers(self.n, size=len(queries))
-        width = beam_width if beam_width is not None else max(2 * k, 16)
-        found = beam_search_batch(
-            self.graph, self.dataset, starts, queries, beam_width=width, k=k
+        result = self.search(
+            queries,
+            k=k,
+            params=SearchParams(
+                mode="beam", beam_width=beam_width, budget=budget, starts=starts
+            ),
         )
-        return [
-            [(pid, self._to_original(d)) for pid, d in pairs]
-            for pairs, _evals in found
-        ]
+        return [result.pairs(i) for i in range(result.m)]
 
     # ------------------------------------------------------------------
     # Persistence (single-file .npz; see repro.core.persistence)
     # ------------------------------------------------------------------
 
     def save(self, path: Any) -> Any:
-        """Serialize this index to one ``.npz`` file.
+        """Serialize this index to one ``.npz`` file (format v2).
 
         The file holds the graph's CSR arrays verbatim, the normalized
-        points, and a JSON header with the builder provenance, scale,
-        and metric spec — a loaded index answers ``query_batch`` with
+        points, the external id map and tombstone mask, and a JSON
+        header with the builder provenance, scale, build options, and
+        metric spec — a loaded index answers :meth:`search` with
         identical ids and distances.  Indexes over non-coordinate
         metrics (counting wrappers, tree metrics, explicit matrices)
         raise :class:`NotImplementedError` instead of pickling.
@@ -218,7 +738,7 @@ class ProximityGraphIndex:
 
     @classmethod
     def load(cls, path: Any) -> "ProximityGraphIndex":
-        """Load an index previously written by :meth:`save`."""
+        """Load an index previously written by :meth:`save` (v1 or v2)."""
         from repro.core.persistence import load_index
 
         return load_index(path, cls)
@@ -238,6 +758,8 @@ class ProximityGraphIndex:
             out["log2_aspect_ratio"] = params.height - 1
         out["edges_per_point"] = out["edges"] / max(out["n"], 1)
         out["log2_n"] = round(math.log2(max(out["n"], 2)), 2)
+        out["active"] = self.active_count
+        out["tombstones"] = self.tombstone_count
         return out
 
     def validate(
@@ -253,8 +775,15 @@ class ProximityGraphIndex:
         queries: Sequence[Any],
         budget: int | None = None,
         starts: Sequence[int] | None = None,
+        seed: int | None = None,
     ) -> QueryStats:
-        """Cost/quality statistics of greedy over a query batch."""
+        """Cost/quality statistics of greedy over a query batch.
+
+        Default start vertices come from a generator seeded with
+        ``seed`` (falling back to the index's build seed), never from
+        shared mutable state — repeated identical calls return identical
+        statistics regardless of what ran in between.
+        """
         return measure_queries(
             self.graph,
             self.dataset,
@@ -262,5 +791,5 @@ class ProximityGraphIndex:
             epsilon=self.epsilon,
             starts=starts,
             budget=budget,
-            rng=self._rng,
+            rng=np.random.default_rng(self.seed if seed is None else seed),
         )

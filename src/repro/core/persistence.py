@@ -7,8 +7,15 @@ header (builder name, epsilon, guarantee flag, normalization scale,
 metric spec, rng seed, and the JSON-safe slice of the builder's
 provenance ``meta``).  Loading reconstructs the metric from its spec,
 adopts the CSR arrays without per-row copies, and returns an index whose
-``query_batch`` answers are *identical* — same ids, same distances — to
-the index that was saved.
+``search`` answers are *identical* — same ids, same distances — to the
+index that was saved.
+
+Format v2 (this build) additionally persists the *mutable-collection*
+state: the external id map (``external_ids``), the tombstone mask
+(``tombstones``), and the recorded builder options (so ``compact()``
+can replay the construction after a reload).  v1 files — written before
+the index was mutable — still load: they get the identity id map, an
+empty tombstone mask, and default builder options.
 
 Only **coordinate metrics** (Euclidean, Chebyshev, Minkowski, optionally
 wrapped in the normalization :class:`~repro.metrics.base.ScaledMetric`)
@@ -41,13 +48,15 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 __all__ = [
     "FORMAT_VERSION",
+    "SUPPORTED_VERSIONS",
     "metric_to_spec",
     "metric_from_spec",
     "save_index",
     "load_index",
 ]
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+SUPPORTED_VERSIONS = (1, 2)
 
 # Tag for GNetParameters entries in the serialized meta (the one
 # provenance object stats() needs back as a real object).
@@ -148,6 +157,7 @@ def save_index(index: "ProximityGraphIndex", path: str | Path) -> Path:
         )
     offsets, targets = index.graph.csr()
     meta_kept, meta_dropped = _sanitize_meta(index.built.meta)
+    options_kept, _options_dropped = _sanitize_meta(index.built.options)
     header = {
         "format_version": FORMAT_VERSION,
         "n": int(index.dataset.n),
@@ -159,6 +169,7 @@ def save_index(index: "ProximityGraphIndex", path: str | Path) -> Path:
         "metric": spec,
         "meta": meta_kept,
         "meta_dropped": meta_dropped,
+        "options": options_kept,
     }
     path = Path(path)
     np.savez_compressed(
@@ -166,6 +177,8 @@ def save_index(index: "ProximityGraphIndex", path: str | Path) -> Path:
         offsets=offsets.astype(np.int64, copy=False),
         targets=targets.astype(np.int64, copy=False),
         points=points,
+        external_ids=index.id_map.externals.astype(np.int64, copy=False),
+        tombstones=index._tombstones.astype(np.uint8, copy=False),
         header=np.frombuffer(
             json.dumps(header).encode("utf-8"), dtype=np.uint8
         ),
@@ -174,25 +187,28 @@ def save_index(index: "ProximityGraphIndex", path: str | Path) -> Path:
 
 
 def load_index(path: str | Path, cls: type | None = None) -> "ProximityGraphIndex":
-    """Load an index saved by :func:`save_index`.
+    """Load an index saved by :func:`save_index` (format v1 or v2).
 
-    The loaded index answers ``query_batch``/``query_k_batch`` with ids
-    and distances identical to the saved one: the CSR arrays are adopted
-    verbatim, the points array round-trips losslessly, and the scale and
-    metric constants survive JSON exactly (Python floats serialize
-    shortest-round-trip).  The query rng is re-seeded from the saved
-    build seed, so per-call random starts follow the same stream a
-    freshly built index would use.
+    The loaded index answers ``search`` with ids and distances identical
+    to the saved one: the CSR arrays are adopted verbatim, the points
+    array round-trips losslessly, and the scale and metric constants
+    survive JSON exactly (Python floats serialize shortest-round-trip).
+    The query rng is re-seeded from the saved build seed, so per-call
+    random starts follow the same stream a freshly built index would
+    use.  v1 files predate the mutable collection: they load with the
+    identity id map and no tombstones.
     """
     if cls is None:
         from repro.core.index import ProximityGraphIndex as cls
+    from repro.core.search import IdMap
+
     with np.load(Path(path), allow_pickle=False) as data:
         header = json.loads(bytes(data["header"].tobytes()).decode("utf-8"))
         version = header.get("format_version")
-        if version != FORMAT_VERSION:
+        if version not in SUPPORTED_VERSIONS:
             raise ValueError(
                 f"unsupported index format version {version!r} "
-                f"(this build reads version {FORMAT_VERSION})"
+                f"(this build reads versions {list(SUPPORTED_VERSIONS)})"
             )
         n = int(header["n"])
         graph = ProximityGraph.from_csr(
@@ -202,6 +218,12 @@ def load_index(path: str | Path, cls: type | None = None) -> "ProximityGraphInde
             validate=True,
         )
         points = data["points"]
+        if version >= 2:
+            external_ids = data["external_ids"].astype(np.int64)
+            tombstones = data["tombstones"].astype(bool)
+        else:
+            external_ids = np.arange(n, dtype=np.int64)
+            tombstones = np.zeros(n, dtype=bool)
     metric = metric_from_spec(header["metric"])
     dataset = Dataset(metric, points)
     built = BuiltGraph(
@@ -210,6 +232,7 @@ def load_index(path: str | Path, cls: type | None = None) -> "ProximityGraphInde
         epsilon=float(header["epsilon"]),
         guaranteed=bool(header["guaranteed"]),
         meta=_rehydrate_meta(header["meta"]),
+        options=dict(header.get("options") or {}),
     )
     if header["meta_dropped"]:
         built.meta["meta_dropped"] = list(header["meta_dropped"])
@@ -218,6 +241,8 @@ def load_index(path: str | Path, cls: type | None = None) -> "ProximityGraphInde
         built=built,
         scale=float(header["scale"]),
         rng=np.random.default_rng(int(header["seed"])),
+        id_map=IdMap(external_ids),
+        tombstones=tombstones,
     )
     index.seed = int(header["seed"])
     return index

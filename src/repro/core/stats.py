@@ -147,24 +147,41 @@ def measure_queries(
     keep_per_query: bool = False,
     ground_truth: tuple[np.ndarray, np.ndarray] | None = None,
     engine: str = "batch",
+    seed: int | None = None,
 ) -> QueryStats:
     """Run greedy for each query and aggregate cost/quality.
 
     ``starts`` supplies one start vertex per query; by default they are
     drawn uniformly (the paper allows *any* start, and the flexibility of
-    choosing ``p_start`` is called out as a strength of the paradigm).
-    The approximation ratio compares greedy's answer to the exact NN from
-    a linear scan; queries whose NN distance is 0 count as satisfied only
-    on exact hits.  ``ground_truth`` accepts a precomputed
-    ``(nn_ids, nn_dists)`` pair (see :func:`compute_ground_truth`);
-    ``engine`` selects the lockstep batch engine (default) or the scalar
-    per-query loop — their results are bit-identical.
+    choosing ``p_start`` is called out as a strength of the paradigm)
+    from ``rng`` or, failing that, a fresh generator seeded with
+    ``seed`` — so repeated calls with the same arguments aggregate the
+    same searches.  The approximation ratio compares greedy's answer to
+    the exact NN from a linear scan; queries whose NN distance is 0
+    count as satisfied only on exact hits.  ``ground_truth`` accepts a
+    precomputed ``(nn_ids, nn_dists)`` pair (see
+    :func:`compute_ground_truth`); ``engine`` selects the lockstep batch
+    engine (default) or the scalar per-query loop — their results are
+    bit-identical.  An empty query batch aggregates to all-zero stats
+    instead of tripping numpy's empty reductions.
     """
     if engine not in ("batch", "scalar"):
         raise ValueError(f"unknown engine {engine!r}; use 'batch' or 'scalar'")
     m = len(queries)
+    if m == 0:
+        return QueryStats(
+            num_queries=0,
+            mean_distance_evals=0.0,
+            max_distance_evals=0,
+            mean_hops=0.0,
+            max_hops=0,
+            mean_approximation=0.0,
+            max_approximation=0.0,
+            recall_at_1=0.0,
+            epsilon_satisfied_fraction=0.0,
+        )
     if starts is None:
-        gen = rng or np.random.default_rng(0)
+        gen = rng if rng is not None else np.random.default_rng(seed or 0)
         starts = gen.integers(graph.n, size=m)
 
     if engine == "batch":

@@ -35,6 +35,8 @@ coordinates.  For abstract metrics use the static builder.
 
 from __future__ import annotations
 
+import itertools
+
 import numpy as np
 
 from repro.graphs.base import ProximityGraph
@@ -64,8 +66,6 @@ class _LevelGrid:
         out: list[int] = []
         ranges = [range(int(a), int(b) + 1) for a, b in zip(lo, hi)]
         # Iterate the cell box; for radius <= cell_size this is 3^d cells.
-        import itertools
-
         for cell in itertools.product(*ranges):
             out.extend(self.cells.get(cell, ()))
         return out
@@ -136,6 +136,52 @@ class DynamicGNet:
 
     # ------------------------------------------------------------------
 
+    @classmethod
+    def from_points(
+        cls,
+        metric: MetricSpace,
+        coords: np.ndarray,
+        epsilon: float,
+        min_distance: float = 2.0,
+        diameter_headroom: float = 4.0,
+    ) -> "DynamicGNet":
+        """Adopt an existing (already normalized) point set into a dynamic
+        net — the upgrade path a static ``gnet`` index takes on its first
+        ``add()``.
+
+        ``coords`` must already live in normalized units (minimum
+        inter-point distance ``>= min_distance``); every point is
+        re-inserted in id order, so internal ids ``0..n-1`` are
+        preserved.  The resulting net hierarchy generally differs from
+        the static build's (memberships depend on insertion order) but
+        maintains exactly the Theorem 1.1 invariants, so the (1+eps)
+        guarantee carries over.  ``diameter_headroom`` multiplies the
+        estimated current diameter to fix the domain budget — the room
+        future insertions may occupy (``h`` grows only logarithmically
+        in it).
+        """
+        coords = np.asarray(coords, dtype=np.float64)
+        if coords.ndim != 2 or len(coords) < 1:
+            raise ValueError("need an (n, d) coordinate array with n >= 1")
+        if diameter_headroom < 1.0:
+            raise ValueError("diameter_headroom must be at least 1")
+        # Section 2.4 remark: 2 * max-distance-from-any-point is within
+        # [diam, 2*diam]; headroom then reserves growth room on top.
+        d_max_hat = 2.0 * float(metric.distances(coords[0], coords).max())
+        domain = max(diameter_headroom * max(d_max_hat, min_distance), 2.0)
+        net = cls(
+            metric,
+            epsilon,
+            domain_diameter=domain,
+            dim=coords.shape[1],
+            min_distance=min_distance,
+            capacity=2 * len(coords),
+        )
+        net.insert_many(coords)
+        return net
+
+    # ------------------------------------------------------------------
+
     def __len__(self) -> int:
         return self.n
 
@@ -158,35 +204,47 @@ class DynamicGNet:
             return np.empty(0)
         return self.metric.distances(x, self._coords[np.array(ids, dtype=np.intp)])
 
-    def insert(self, point: np.ndarray) -> int:
-        """Insert a point; returns its id.
-
-        Raises ``ValueError`` if the point violates the declared minimum
-        distance or falls outside the declared diameter budget (both
-        checks are exact, via level-0 / top-level range queries).
-        """
+    def rejection_reason(self, point: np.ndarray) -> str | None:
+        """Why :meth:`insert` would refuse ``point`` — or ``None`` if it
+        is insertable.  Lets batch callers (the index facade's ``add``)
+        pre-validate a whole batch before mutating anything, keeping the
+        batch atomic."""
         x = np.asarray(point, dtype=np.float64)
         if x.shape != (self.dim,):
-            raise ValueError(f"expected a ({self.dim},) point")
-        pid = self.n
-
-        # Distance sanity: nearest existing point must be >= min_distance.
+            return f"expected a ({self.dim},) point"
         if self.n > 0:
+            # Distance sanity: nearest existing point must be >= min_distance.
             near = self._all_grids[0].candidates(x, self.min_distance)
             d = self._dists(x, near)
             if len(d) and float(d.min()) < self.min_distance:
-                raise ValueError(
-                    "insertion violates the declared minimum inter-point distance"
-                )
+                return "insertion violates the declared minimum inter-point distance"
             # Diameter budget: h was sized from domain_diameter, and the
             # Lemma 2.2 argument needs h >= log2(diam).  Enforce the
             # (conservative) radius-around-the-first-point test, which by
             # the triangle inequality caps the diameter at the budget.
             if self.metric.distance(x, self._coords[0]) > self._domain_radius:
-                raise ValueError(
+                return (
                     "insertion exceeds the declared domain diameter; "
                     "rebuild with a larger domain_diameter"
                 )
+        return None
+
+    def insert(self, point: np.ndarray, prevalidated: bool = False) -> int:
+        """Insert a point; returns its id.
+
+        Raises ``ValueError`` if the point violates the declared minimum
+        distance or falls outside the declared diameter budget (both
+        checks are exact, via level-0 / top-level range queries).
+        Callers that already ran :meth:`rejection_reason` over their
+        whole batch (the facade's atomic ``add``) pass
+        ``prevalidated=True`` to skip re-checking.
+        """
+        x = np.asarray(point, dtype=np.float64)
+        if not prevalidated:
+            reason = self.rejection_reason(x)
+            if reason is not None:
+                raise ValueError(reason)
+        pid = self.n
 
         if self.n == len(self._coords):
             grown = np.empty((2 * len(self._coords), self.dim))
@@ -229,8 +287,13 @@ class DynamicGNet:
             self._all_grids[i].add(pid, x)
         return pid
 
-    def insert_many(self, points: np.ndarray) -> list[int]:
-        return [self.insert(p) for p in np.asarray(points, dtype=np.float64)]
+    def insert_many(
+        self, points: np.ndarray, prevalidated: bool = False
+    ) -> list[int]:
+        return [
+            self.insert(p, prevalidated=prevalidated)
+            for p in np.asarray(points, dtype=np.float64)
+        ]
 
     # ------------------------------------------------------------------
 

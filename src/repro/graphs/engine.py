@@ -63,6 +63,7 @@ def greedy_batch(
     starts: Sequence[int],
     queries: Any,
     budget: int | None = None,
+    allowed: np.ndarray | None = None,
 ) -> list[GreedyResult]:
     """Run ``greedy(starts[i], queries[i])`` for all ``i`` in lockstep.
 
@@ -70,6 +71,15 @@ def greedy_batch(
     distance, hops, distance_evals, self_terminated) to calling the
     scalar :func:`~repro.graphs.greedy.greedy` per query with the same
     ``budget``.
+
+    ``allowed`` (a boolean mask over the vertex set) restricts which
+    vertices may be *returned*: the walk itself is unchanged — greedy
+    still hops through every vertex, which preserves navigability — but
+    the reported ``(point, distance)`` is the closest *allowed* vertex
+    among all vertices the walk evaluated.  A query that never evaluated
+    an allowed vertex reports ``(-1, inf)``.  With ``allowed=None`` the
+    masked bookkeeping is skipped entirely and results stay bit-identical
+    to the scalar routine.
     """
     m = len(queries)
     starts = np.asarray(starts, dtype=np.intp)
@@ -93,16 +103,30 @@ def greedy_batch(
     results: list[GreedyResult | None] = [None] * m
     active = np.arange(m, dtype=np.intp)
 
+    # Best *allowed* vertex evaluated so far, per query (filter path).
+    if allowed is not None:
+        allowed = np.asarray(allowed, dtype=bool)
+        if allowed.shape != (graph.n,):
+            raise ValueError("allowed mask must cover every vertex")
+        best_p = np.where(allowed[starts], p_cur, -1)
+        best_d = np.where(allowed[starts], d_cur, np.inf)
+
     def finalize(idx: np.ndarray, self_terminated: np.ndarray | bool) -> None:
         flags = (
             np.broadcast_to(self_terminated, len(idx))
             if np.isscalar(self_terminated)
             else self_terminated
         )
-        for i, flag in zip(idx, flags):
-            results[i] = GreedyResult(
-                int(p_cur[i]), float(d_cur[i]), hops[i], int(evals[i]), bool(flag)
-            )
+        if allowed is None:
+            for i, flag in zip(idx, flags):
+                results[i] = GreedyResult(
+                    int(p_cur[i]), float(d_cur[i]), hops[i], int(evals[i]), bool(flag)
+                )
+        else:
+            for i, flag in zip(idx, flags):
+                results[i] = GreedyResult(
+                    int(best_p[i]), float(best_d[i]), hops[i], int(evals[i]), bool(flag)
+                )
 
     while len(active):
         # 1. Budget exhausted before the hop (the paper's query() cutoff).
@@ -146,6 +170,23 @@ def greedy_batch(
         dists = dataset.distances_to_queries(Q[active], cand, take)
         evals[active] += take
 
+        # 4b. Filter bookkeeping: fold this hop's *allowed* candidates
+        #     into each query's best-allowed record (routing unaffected).
+        if allowed is not None:
+            adm = allowed[cand]
+            if adm.any():
+                masked = np.where(adm, dists, np.inf)
+                amins = np.minimum.reduceat(masked, seg_start)
+                a_is_min = masked == np.repeat(amins, take)
+                a_first = np.minimum.reduceat(
+                    np.where(a_is_min, np.arange(total, dtype=np.int64), total),
+                    seg_start,
+                )
+                better = amins < best_d[active]
+                upd = active[better]
+                best_d[upd] = amins[better]
+                best_p[upd] = cand[a_first[better]]
+
         # 5. Per-segment first minimum (greedy's smallest-id tie-break).
         mins = np.minimum.reduceat(dists, seg_start)
         is_min = dists == np.repeat(mins, take)
@@ -176,9 +217,9 @@ class _BeamState:
 
     __slots__ = ("candidates", "pool", "visited", "evals", "done")
 
-    def __init__(self, start: int, d0: float):
+    def __init__(self, start: int, d0: float, admissible: bool = True):
         self.candidates: list[tuple[float, int]] = [(d0, start)]
-        self.pool: list[tuple[float, int]] = [(-d0, start)]
+        self.pool: list[tuple[float, int]] = [(-d0, start)] if admissible else []
         self.visited: set[int] = {start}
         self.evals = 1
         self.done = False
@@ -192,6 +233,7 @@ def beam_search_batch(
     beam_width: int,
     k: int = 1,
     budget: int | None = None,
+    allowed: np.ndarray | None = None,
 ) -> list[tuple[list[tuple[int, float]], int]]:
     """Lockstep best-first beam search over a query batch.
 
@@ -199,6 +241,15 @@ def beam_search_batch(
     its unvisited out-neighbors to one shared segmented distance call;
     heap updates then replay the scalar :func:`beam_search` logic per
     query, so results and eval counts match the scalar routine exactly.
+
+    ``allowed`` (a boolean mask over the vertex set) restricts which
+    vertices may enter the *result pool*: disallowed vertices are still
+    traversed — they enter the candidate heap under the usual beam
+    bound, keeping the search connected through filtered-out regions —
+    but never count toward the ``beam_width`` best.  With a filter a
+    query may return fewer than ``k`` pairs (even zero when nothing
+    admissible was reached).  ``allowed=None`` takes the exact unmasked
+    code path.
     """
     if beam_width < 1:
         raise ValueError("beam width must be at least 1")
@@ -206,11 +257,19 @@ def beam_search_batch(
     starts = np.asarray(starts, dtype=np.intp)
     if len(starts) != m:
         raise ValueError("need exactly one start vertex per query")
+    if allowed is not None:
+        allowed = np.asarray(allowed, dtype=bool)
+        if allowed.shape != (graph.n,):
+            raise ValueError("allowed mask must cover every vertex")
     graph.freeze()
     Q = _as_query_array(queries)
 
     states = [
-        _BeamState(int(starts[i]), dataset.distance_to_query(Q[i], int(starts[i])))
+        _BeamState(
+            int(starts[i]),
+            dataset.distance_to_query(Q[i], int(starts[i])),
+            admissible=allowed is None or bool(allowed[starts[i]]),
+        )
         for i in range(m)
     ]
 
@@ -260,9 +319,10 @@ def beam_search_batch(
                     st.visited.add(int(v))
                     if len(st.pool) < beam_width or dv < -st.pool[0][0]:
                         heapq.heappush(st.candidates, (float(dv), int(v)))
-                        heapq.heappush(st.pool, (-float(dv), int(v)))
-                        if len(st.pool) > beam_width:
-                            heapq.heappop(st.pool)
+                        if allowed is None or allowed[v]:
+                            heapq.heappush(st.pool, (-float(dv), int(v)))
+                            if len(st.pool) > beam_width:
+                                heapq.heappop(st.pool)
         live = [i for i in next_live if not states[i].done]
 
     out: list[tuple[list[tuple[int, float]], int]] = []
