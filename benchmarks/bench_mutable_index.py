@@ -25,6 +25,7 @@ import numpy as np
 from benchmarks.conftest import RESULTS_DIR, write_table
 from repro import ProximityGraphIndex, SearchParams
 from repro.core import compute_ground_truth_k
+from repro.core.stats import recall_at_k
 from repro.metrics import Dataset, EuclideanMetric
 from repro.workloads import gaussian_clusters, near_data_queries, uniform_queries
 
@@ -49,14 +50,9 @@ def _workload():
 
 
 def _recall_at_k(index: ProximityGraphIndex, queries, gt: np.ndarray) -> float:
-    r = index.search(
-        queries, k=K, params=SearchParams(beam_width=64, seed=0)
+    return recall_at_k(
+        index, queries, gt, K, params=SearchParams(beam_width=64, seed=0)
     )
-    hits = sum(
-        len(set(gt[i].tolist()) & set(r.ids[i].tolist()))
-        for i in range(len(queries))
-    )
-    return hits / (len(queries) * K)
 
 
 def test_add_then_search_recall(benchmark):

@@ -1,0 +1,142 @@
+"""E11 — the sharded parallel index: build speedup and fan-out recall.
+
+The sharded build path composes two engines: each shard builds over
+``n/K`` points through the wave-batched construction driver, and the
+shards build concurrently in a process pool over a zero-copy shared
+-memory arena.  This bench records the acceptance numbers of the
+sharded-index PR against the *flat default build* (what a user gets
+from ``ProximityGraphIndex.build`` today):
+
+* ``test_sharded_quality_gate_2k`` — the CI gate: fan-out recall@10
+  must stay within 0.02 of the flat index (wall-clock is not gated in
+  CI; single-core runners make ratios meaningless there);
+* ``test_sharded_acceptance_20k`` — the committed acceptance record:
+  >= 2x build speedup at 4 workers on a 20k-point workload with
+  recall@10 within 0.02, persisted to ``results/bench_sharded.json``.
+
+A fairness row records the flat *batched* build too, so the JSON shows
+how much of the speedup is wave-batching (all of it on a single-core
+runner) versus process parallelism (additive on real multicore hosts).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+
+from benchmarks.conftest import RESULTS_DIR, write_table
+from repro import ProximityGraphIndex, SearchParams, ShardedIndex
+from repro.core import compute_ground_truth_k
+from repro.core.stats import recall_at_k
+from repro.metrics import Dataset, EuclideanMetric
+from repro.workloads import gaussian_clusters, uniform_queries
+
+EPS = 1.0
+K = 10
+
+
+def _workload(n: int, dim: int, seed: int, m_queries: int):
+    pts = gaussian_clusters(n, dim, np.random.default_rng(seed), clusters=20)
+    rng = np.random.default_rng(2025)
+    queries = uniform_queries(m_queries, pts, rng)
+    gt, _ = compute_ground_truth_k(Dataset(EuclideanMetric(), pts), queries, k=K)
+    return pts, queries, gt
+
+
+def _recall(index, queries, gt) -> float:
+    return recall_at_k(
+        index, queries, gt, K, params=SearchParams(beam_width=64, seed=7)
+    )
+
+
+def _compare(pts, queries, gt, shards: int, workers: int) -> dict:
+    t0 = time.perf_counter()
+    flat = ProximityGraphIndex.build(pts, epsilon=EPS, method="vamana", seed=42)
+    flat_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    sharded = ShardedIndex.build(
+        pts, epsilon=EPS, method="vamana", seed=42,
+        shards=shards, workers=workers,
+    )
+    sharded_s = time.perf_counter() - t0
+
+    # Fairness: the flat index with the same wave engine the shards use,
+    # so the record separates wave-batching gains from sharding gains.
+    t0 = time.perf_counter()
+    ProximityGraphIndex.build(
+        pts, epsilon=EPS, method="vamana", seed=42,
+        batch_size=max(32, min(1024, len(pts) // 8)),
+    )
+    flat_batched_s = time.perf_counter() - t0
+
+    record = {
+        "n": int(len(pts)),
+        "shards": shards,
+        "workers": workers,
+        "cpu_count": os.cpu_count(),
+        "flat_seconds": round(flat_s, 3),
+        "flat_batched_seconds": round(flat_batched_s, 3),
+        "sharded_seconds": round(sharded_s, 3),
+        "speedup": round(flat_s / sharded_s, 2),
+        "flat_recall_at_10": round(_recall(flat, queries, gt), 4),
+        "sharded_recall_at_10": round(_recall(sharded, queries, gt), 4),
+    }
+    sharded.close()
+    return record
+
+
+def _write_json(key: str, record) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "bench_sharded.json"
+    data = json.loads(path.read_text()) if path.exists() else {}
+    data[key] = record
+    path.write_text(json.dumps(data, indent=2) + "\n")
+
+
+def test_sharded_quality_gate_2k():
+    """CI gate: fan-out recall parity on a small workload (no clocks)."""
+    pts, queries, gt = _workload(2000, 4, seed=11, m_queries=300)
+    r = _compare(pts, queries, gt, shards=4, workers=2)
+    _write_json("gate_2k", r)
+    assert r["flat_recall_at_10"] - r["sharded_recall_at_10"] <= 0.02, (
+        f"fan-out recall {r['sharded_recall_at_10']} fell more than 0.02 "
+        f"below flat {r['flat_recall_at_10']}"
+    )
+
+
+def test_sharded_acceptance_20k():
+    """Acceptance record: >= 2x build at 4 workers on >= 20k points,
+    recall@10 within 0.02 of the flat index."""
+    pts, queries, gt = _workload(20_000, 4, seed=11, m_queries=500)
+    r = _compare(pts, queries, gt, shards=4, workers=4)
+    _write_json("acceptance_20k", r)
+    write_table(
+        "bench_sharded",
+        f"E11: flat vs sharded build+search (vamana, eps={EPS}, "
+        f"{r['shards']} shards, {r['workers']} workers)",
+        [
+            "n", "flat s", "flat batched s", "sharded s", "speedup",
+            "recall@10 flat", "recall@10 sharded",
+        ],
+        [[
+            r["n"], r["flat_seconds"], r["flat_batched_seconds"],
+            r["sharded_seconds"], r["speedup"],
+            r["flat_recall_at_10"], r["sharded_recall_at_10"],
+        ]],
+        notes=(
+            "Sharded = 4 vamana shards built through the wave engine in a "
+            "process pool over one shared-memory arena; search fans the "
+            "query batch out per shard and merges top-10.  The flat-batched "
+            "column isolates the wave-engine share of the win: on a "
+            f"single-core runner (this one has {r['cpu_count']}) the pool "
+            "adds no parallel speedup, on multicore hosts it multiplies."
+        ),
+    )
+    assert r["speedup"] >= 2.0, f"only {r['speedup']:.2f}x at 4 workers"
+    assert r["flat_recall_at_10"] - r["sharded_recall_at_10"] <= 0.02, (
+        "sharded fan-out lost more than 0.02 recall@10"
+    )

@@ -21,7 +21,10 @@ Start with :class:`repro.ProximityGraphIndex`; drop to the subpackages
 
 from repro.core.builders import available_builders, build
 from repro.core.index import ProximityGraphIndex
+from repro.core.interface import SearchableIndex
+from repro.core.persistence import load_any
 from repro.core.search import IdMap, SearchParams, SearchResult
+from repro.core.sharded import ShardedIndex
 from repro.core.stats import (
     compute_ground_truth,
     compute_ground_truth_k,
@@ -49,6 +52,8 @@ __all__ = [
     "ProximityGraphIndex",
     "SearchParams",
     "SearchResult",
+    "SearchableIndex",
+    "ShardedIndex",
     "available_builders",
     "build",
     "build_gnet",
@@ -59,6 +64,7 @@ __all__ = [
     "compute_ground_truth_k",
     "greedy",
     "greedy_batch",
+    "load_any",
     "measure_queries",
     "__version__",
 ]

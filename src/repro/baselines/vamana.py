@@ -35,57 +35,18 @@ from typing import Any, Sequence
 import numpy as np
 
 from repro.graphs.base import ProximityGraph
-from repro.graphs.engine import bulk_insert, construction_beam_batch, snapshot_graph
+from repro.graphs.engine import (
+    bulk_insert,
+    locate_wave_pools,
+    prune_and_link,
+    robust_prune,
+)
 from repro.metrics.base import Dataset
 
+# robust_prune lives in repro.graphs.engine with the rest of the shared
+# wave-repair plumbing; re-exported here because it is the RobustPrune
+# of [19] and this module is its natural home for readers of the paper.
 __all__ = ["VamanaIndex", "robust_prune"]
-
-
-def robust_prune(
-    dataset: Dataset,
-    pid: int,
-    v_arr: np.ndarray,
-    d_arr: np.ndarray,
-    alpha: float,
-    max_degree: int,
-) -> list[int]:
-    """The RobustPrune of [19], array-native and builder-agnostic.
-
-    Keep the closest candidate, discard any candidate ``v`` with
-    ``alpha * D(kept, v) <= D(pid, v)``, repeat until ``max_degree``
-    neighbors are kept.  Candidates need not be sorted or unique;
-    duplicates keep their smallest distance.  All kept-to-candidate
-    distances come from one cross-distance matrix (a single BLAS call
-    for coordinate metrics), so the greedy scan below only does cheap
-    row masking.  Shared by :class:`VamanaIndex` and the index facade's
-    incremental ``add()`` repair path.
-    """
-    order = np.lexsort((v_arr, d_arr))
-    v_s, d_s = v_arr[order], d_arr[order]
-    mask = v_s != pid
-    v_s, d_s = v_s[mask], d_s[mask]
-    if not len(v_s):
-        return []
-    # First occurrence per id in (d, v) order = its smallest distance.
-    _, first = np.unique(v_s, return_index=True)
-    if len(first) != len(v_s):
-        take = np.sort(first)
-        v_s, d_s = v_s[take], d_s[take]
-    mat = dataset.metric.pairwise(dataset.points[v_s])
-    alive = np.ones(len(v_s), dtype=bool)
-    kept: list[int] = []
-    pos, P = 0, len(v_s)
-    while len(kept) < max_degree:
-        while pos < P and not alive[pos]:
-            pos += 1
-        if pos >= P:
-            break
-        kept.append(int(v_s[pos]))
-        if len(kept) >= max_degree:
-            break
-        alive &= alpha * mat[pos] > d_s
-        pos += 1
-    return kept
 
 
 class VamanaIndex:
@@ -203,15 +164,9 @@ class VamanaIndex:
             own_d = self.dataset.distances_from_index(pid, own)
             v_arr = np.concatenate([v_arr, own])
             d_arr = np.concatenate([d_arr, own_d])
-        self._adj[pid] = self._robust_prune_arrays(pid, v_arr, d_arr, alpha)
-        for v in self._adj[pid]:
-            nbrs = self._adj[v]
-            if pid not in nbrs:
-                nbrs.append(pid)
-                if len(nbrs) > self.max_degree:
-                    arr = np.asarray(nbrs, dtype=np.intp)
-                    dists = self.dataset.distances_from_index(v, arr)
-                    self._adj[v] = self._robust_prune_arrays(v, arr, dists, alpha)
+        prune_and_link(
+            self.dataset, self._adj, pid, v_arr, d_arr, alpha, self.max_degree
+        )
 
     def _insert(self, pid: int, alpha: float) -> None:
         q = self.dataset.points[pid]
@@ -236,14 +191,8 @@ class VamanaIndex:
         """One vectorized lockstep beam for the whole wave against the
         frozen prefix adjacency; returns ``(ids, distances)`` pools,
         ascending by distance."""
-        idx = np.asarray(pids, dtype=np.intp)
-        prefix = snapshot_graph(self.dataset.n, self._adj, sort=False)
-        return construction_beam_batch(
-            prefix,
-            self.dataset,
-            [self.entry_point] * len(idx),
-            self.dataset.points[idx],
-            beam_width=self.beam_width,
+        return locate_wave_pools(
+            self.dataset, self._adj, self.entry_point, pids, self.beam_width
         )
 
     def commit(self, pid: int, pool: tuple[np.ndarray, np.ndarray]) -> None:

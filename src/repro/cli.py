@@ -7,10 +7,12 @@ graphs from the shell.
     python -m repro validate points.npy graph.npz --queries 200
     python -m repro bench-throughput points.npy --method vamana --queries 1000
     python -m repro bench-build points.npy --method vamana --batch-size 500
+    python -m repro bench-build points.npy --method vamana --shards 4 --workers 4
     python -m repro save-index points.npy index.npz --method vamana
+    python -m repro save-index points.npy index_dir --shards 4 --workers 4
     python -m repro load-index index.npz --q 0.25 0.75
     python -m repro search index.npz --q 0.25 0.75 --k 10 --beam-width 32
-    python -m repro search index.npz --queries-file queries.npy --k 10
+    python -m repro search index_dir --queries-file queries.npy --k 10 --workers 4
     python -m repro add    index.npz points.npy
     python -m repro delete index.npz --ids 3 17 29 --compact
     python -m repro builders
@@ -20,7 +22,11 @@ persist in the library's ``.npz`` CSR format next to a ``.json``
 metadata sidecar (method, epsilon, normalization factor) so
 ``query``/``validate`` can reconstruct the exact search setting; a
 *full index* (graph + points + provenance in one self-contained file)
-persists via ``save-index``/``load-index``.
+persists via ``save-index``/``load-index``.  ``save-index --shards K``
+builds a sharded index instead (process-parallel with ``--workers``)
+and saves it as a manifest *directory*; every index-consuming
+subcommand (``search``/``add``/``delete``/``load-index``) accepts
+either kind transparently.
 """
 
 from __future__ import annotations
@@ -35,8 +41,15 @@ import numpy as np
 
 from repro.core.builders import BATCHED_BUILDERS, available_builders, build
 from repro.core.index import ProximityGraphIndex
+from repro.core.persistence import load_any
 from repro.core.search import SearchParams
-from repro.core.stats import compute_ground_truth_k, measure_queries, timed
+from repro.core.sharded import ShardedIndex
+from repro.core.stats import (
+    compute_ground_truth_k,
+    measure_queries,
+    recall_at_k,
+    timed,
+)
 from repro.graphs.base import ProximityGraph
 from repro.graphs.engine import beam_search_batch, greedy_batch
 from repro.graphs.greedy import greedy
@@ -226,17 +239,36 @@ def _cmd_bench_throughput(args: argparse.Namespace) -> int:
 
 
 def _cmd_save_index(args: argparse.Namespace) -> int:
-    """Build a full index over a points file and persist it to one .npz."""
+    """Build a full index over a points file and persist it — one .npz
+    for the flat index, a manifest directory when ``--shards > 1``."""
     points = _load_points(args.points)
-    index, seconds = timed(
-        lambda: ProximityGraphIndex.build(
-            points,
-            epsilon=args.epsilon,
-            method=args.method,
-            seed=args.seed,
-            batch_size=args.batch_size,
+    if args.shards > 1:
+        index, seconds = timed(
+            lambda: ShardedIndex.build(
+                points,
+                epsilon=args.epsilon,
+                method=args.method,
+                seed=args.seed,
+                shards=args.shards,
+                workers=args.workers,
+                assignment=args.assignment,
+                **(
+                    {}
+                    if args.batch_size is None
+                    else {"batch_size": args.batch_size}
+                ),
+            )
         )
-    )
+    else:
+        index, seconds = timed(
+            lambda: ProximityGraphIndex.build(
+                points,
+                epsilon=args.epsilon,
+                method=args.method,
+                seed=args.seed,
+                batch_size=args.batch_size,
+            )
+        )
     written = index.save(args.index)
     out = dict(index.stats())
     out["build_seconds"] = round(seconds, 3)
@@ -248,14 +280,18 @@ def _cmd_save_index(args: argparse.Namespace) -> int:
 
 
 def _cmd_load_index(args: argparse.Namespace) -> int:
-    """Load a saved index; print its stats, optionally answer a query."""
-    index = ProximityGraphIndex.load(args.index)
+    """Load a saved index (either kind); print its stats, optionally
+    answer a query through the unified front door."""
+    index = load_any(args.index)
     out = dict(index.stats())
     if args.q is not None:
         q = np.array(args.q, dtype=np.float64)
-        pairs = index.query_k(q, k=args.k, p_start=args.start)
+        params = SearchParams(
+            starts=[args.start] if args.start is not None else None
+        )
+        result = index.search(q, k=args.k, params=params)
         out["query"] = [
-            {"point_id": pid, "distance": dist} for pid, dist in pairs
+            {"point_id": pid, "distance": dist} for pid, dist in result.pairs(0)
         ]
     print(json.dumps(out, indent=2))
     return 0
@@ -263,7 +299,12 @@ def _cmd_load_index(args: argparse.Namespace) -> int:
 
 def _cmd_search(args: argparse.Namespace) -> int:
     """The unified front door from the shell: one query or a batch."""
-    index = ProximityGraphIndex.load(args.index)
+    index = load_any(args.index)
+    if args.workers is not None:
+        if isinstance(index, ShardedIndex):
+            index.workers = args.workers
+        elif args.workers > 1:
+            raise SystemExit("--workers applies to sharded indexes only")
     if (args.q is None) == (args.queries_file is None):
         raise SystemExit("pass exactly one of --q or --queries-file")
     if args.q is not None:
@@ -297,7 +338,7 @@ def _cmd_search(args: argparse.Namespace) -> int:
 
 def _cmd_add(args: argparse.Namespace) -> int:
     """Insert new points into a saved index and write it back."""
-    index = ProximityGraphIndex.load(args.index)
+    index = load_any(args.index)
     points = _load_points(args.points)
     new_ids, seconds = timed(
         lambda: index.add(
@@ -319,7 +360,7 @@ def _cmd_add(args: argparse.Namespace) -> int:
 
 def _cmd_delete(args: argparse.Namespace) -> int:
     """Tombstone (and optionally compact away) points of a saved index."""
-    index = ProximityGraphIndex.load(args.index)
+    index = load_any(args.index)
     try:
         removed = index.delete(args.ids)
     except KeyError as exc:
@@ -337,7 +378,11 @@ def _cmd_delete(args: argparse.Namespace) -> int:
 
 def _cmd_bench_build(args: argparse.Namespace) -> int:
     """Sequential vs batched build of one insertion-based builder:
-    wall-clock build time plus recall of both graphs on one workload."""
+    wall-clock build time plus recall of both graphs on one workload.
+    With ``--shards > 1`` the comparison is flat-vs-sharded instead:
+    the default flat build against the sharded parallel build engine
+    (``--workers`` processes), recall measured through each front door.
+    """
     points = _load_points(args.points)
     dataset, _factor = _dataset(points)
     rng = np.random.default_rng(args.seed)
@@ -360,6 +405,39 @@ def _cmd_bench_build(args: argparse.Namespace) -> int:
             for i, (pairs, _evals) in enumerate(found)
         )
         return hits / (len(queries) * args.k)
+
+    def index_recall(index) -> float:
+        return recall_at_k(
+            index, queries, gt, args.k,
+            params=SearchParams(beam_width=max(args.k * 4, 32), seed=args.seed),
+        )
+
+    if args.shards > 1:
+        flat, flat_seconds = timed(
+            lambda: ProximityGraphIndex.build(
+                points, epsilon=args.epsilon, method=args.method, seed=args.seed
+            )
+        )
+        sharded, sharded_seconds = timed(
+            lambda: ShardedIndex.build(
+                points, epsilon=args.epsilon, method=args.method,
+                seed=args.seed, shards=args.shards, workers=args.workers,
+            )
+        )
+        out = {
+            "method": args.method,
+            "n": dataset.n,
+            "shards": args.shards,
+            "workers": args.workers,
+            "flat_seconds": round(flat_seconds, 3),
+            "sharded_seconds": round(sharded_seconds, 3),
+            "speedup": round(flat_seconds / sharded_seconds, 2),
+            f"flat_recall_at_{args.k}": round(index_recall(flat), 4),
+            f"sharded_recall_at_{args.k}": round(index_recall(sharded), 4),
+        }
+        sharded.close()
+        print(json.dumps(out, indent=2))
+        return 0
 
     seq, seq_seconds = timed(
         lambda: build(args.method, dataset, args.epsilon, np.random.default_rng(args.seed))
@@ -417,6 +495,14 @@ def _parser() -> argparse.ArgumentParser:
     p.add_argument("--epsilon", type=float, default=0.5)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--batch-size", type=int, default=None)
+    p.add_argument("--shards", type=int, default=1,
+                   help="partition into this many shards (> 1 builds a "
+                   "ShardedIndex, saved as a manifest directory)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="process-pool size for the sharded build")
+    p.add_argument("--assignment", default="random",
+                   choices=["random", "kmeans"],
+                   help="shard assignment policy")
     p.set_defaults(fn=_cmd_save_index)
 
     p = sub.add_parser(
@@ -447,6 +533,9 @@ def _parser() -> argparse.ArgumentParser:
                    help="seed for default start vertices")
     p.add_argument("--allowed", type=int, nargs="+", default=None,
                    help="restrict results to these external ids")
+    p.add_argument("--workers", type=int, default=None,
+                   help="fan a sharded index's search out over this "
+                   "many worker processes (sharded indexes only)")
     p.set_defaults(fn=_cmd_search)
 
     p = sub.add_parser(
@@ -525,6 +614,11 @@ def _parser() -> argparse.ArgumentParser:
     p.add_argument("--queries", type=int, default=200)
     p.add_argument("--k", type=int, default=10)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--shards", type=int, default=1,
+                   help="> 1 benches the sharded parallel build against "
+                   "the flat default build instead")
+    p.add_argument("--workers", type=int, default=1,
+                   help="process-pool size for the sharded side")
     p.set_defaults(fn=_cmd_bench_build)
     return parser
 

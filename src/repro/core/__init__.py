@@ -9,7 +9,10 @@ from repro.core.builders import (
     register_builder,
 )
 from repro.core.index import ProximityGraphIndex
+from repro.core.interface import SearchableIndex
+from repro.core.persistence import load_any
 from repro.core.search import IdMap, SearchParams, SearchResult
+from repro.core.sharded import ShardedIndex
 from repro.core.stats import (
     QueryStats,
     compute_ground_truth,
@@ -26,10 +29,13 @@ __all__ = [
     "QueryStats",
     "SearchParams",
     "SearchResult",
+    "SearchableIndex",
+    "ShardedIndex",
     "available_builders",
     "build",
     "compute_ground_truth",
     "compute_ground_truth_k",
+    "load_any",
     "measure_queries",
     "register_builder",
     "timed",

@@ -42,9 +42,9 @@ from repro.core.search import IdMap, SearchParams, SearchResult
 from repro.core.stats import QueryStats, measure_queries
 from repro.graphs.base import ProximityGraph
 from repro.graphs.engine import (
+    RepairInserter,
     beam_search_batch,
     bulk_insert,
-    construction_beam_batch,
     greedy_batch,
     snapshot_graph,
 )
@@ -70,73 +70,6 @@ def _warn_deprecated(name: str, hint: str) -> None:
         DeprecationWarning,
         stacklevel=3,
     )
-
-
-class _RepairInserter:
-    """:class:`~repro.graphs.engine.WaveInserter` linking new points into
-    a finished graph.
-
-    Vamana-style incremental repair: each new point's candidate pool is
-    located by beam search over the current graph (vectorized per wave
-    by :func:`~repro.graphs.engine.bulk_insert`), its out-edges chosen
-    by RobustPrune, and backlinks added with overflow re-pruning.  Works
-    for any builder's graph — it only needs the dataset's distances —
-    which is what lets every index grow, at the price of the paper's
-    worst-case guarantee (the facade clears ``guaranteed`` on this
-    path; ``gnet`` indexes keep it via the dynamic-net path instead).
-    """
-
-    def __init__(
-        self,
-        dataset: Dataset,
-        adj: list[list[int]],
-        entry: int,
-        max_degree: int,
-        beam_width: int,
-        alpha: float = 1.2,
-    ):
-        self.dataset = dataset
-        self._adj = adj
-        self.entry = int(entry)
-        self.max_degree = int(max_degree)
-        self.beam_width = int(beam_width)
-        self.alpha = float(alpha)
-
-    # -- WaveInserter protocol -----------------------------------------
-
-    def insert_one(self, pid: int) -> None:
-        self.commit(pid, self.locate_wave([pid])[0])
-
-    def locate_wave(self, pids: Sequence[int]) -> list[tuple[np.ndarray, np.ndarray]]:
-        idx = np.asarray(pids, dtype=np.intp)
-        prefix = snapshot_graph(len(self._adj), self._adj, sort=False)
-        return construction_beam_batch(
-            prefix,
-            self.dataset,
-            [self.entry] * len(idx),
-            self.dataset.points[idx],
-            beam_width=self.beam_width,
-        )
-
-    def commit(self, pid: int, pool: tuple[np.ndarray, np.ndarray]) -> None:
-        from repro.baselines.vamana import robust_prune
-
-        pid = int(pid)
-        v_arr = np.asarray(pool[0], dtype=np.intp)
-        d_arr = np.asarray(pool[1], dtype=np.float64)
-        self._adj[pid] = robust_prune(
-            self.dataset, pid, v_arr, d_arr, self.alpha, self.max_degree
-        )
-        for v in self._adj[pid]:
-            nbrs = self._adj[v]
-            if pid not in nbrs:
-                nbrs.append(pid)
-                if len(nbrs) > self.max_degree:
-                    arr = np.asarray(nbrs, dtype=np.intp)
-                    dists = self.dataset.distances_from_index(v, arr)
-                    self._adj[v] = robust_prune(
-                        self.dataset, v, arr, dists, self.alpha, self.max_degree
-                    )
 
 
 class ProximityGraphIndex:
@@ -548,7 +481,7 @@ class ProximityGraphIndex:
         )
         pair = dataset.metric.pairwise(dataset.points[sample])
         entry = int(sample[np.argmin(pair.sum(axis=1))])
-        inserter = _RepairInserter(
+        inserter = RepairInserter(
             dataset, adj, entry,
             max_degree=degree_cap, beam_width=max(32, 2 * degree_cap),
         )

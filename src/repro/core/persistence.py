@@ -10,12 +10,21 @@ adopts the CSR arrays without per-row copies, and returns an index whose
 ``search`` answers are *identical* — same ids, same distances — to the
 index that was saved.
 
-Format v2 (this build) additionally persists the *mutable-collection*
-state: the external id map (``external_ids``), the tombstone mask
+Format v2 additionally persists the *mutable-collection* state: the
+external id map (``external_ids``), the tombstone mask
 (``tombstones``), and the recorded builder options (so ``compact()``
 can replay the construction after a reload).  v1 files — written before
 the index was mutable — still load: they get the identity id map, an
 empty tombstone mask, and default builder options.
+
+Format v3 (this build) is the **sharded directory** layout of a
+:class:`~repro.core.sharded.ShardedIndex`: a ``manifest.json`` naming
+the shard files plus routing state (assignment policy, seed, worker
+count, next fresh external id), next to one *v2 per-shard file* each —
+so the shard format and the flat format share one code path, and older
+flat files keep loading through the same :func:`load_index`.  Use
+:func:`load_any` when the on-disk kind is not known in advance; it
+dispatches on the manifest and returns whichever index type was saved.
 
 Only **coordinate metrics** (Euclidean, Chebyshev, Minkowski, optionally
 wrapped in the normalization :class:`~repro.metrics.base.ScaledMetric`)
@@ -40,69 +49,40 @@ import numpy as np
 from repro.core.builders import BuiltGraph
 from repro.graphs.base import ProximityGraph
 from repro.graphs.gnet import GNetParameters
-from repro.metrics.base import Dataset, MetricSpace, ScaledMetric
-from repro.metrics.euclidean import ChebyshevMetric, EuclideanMetric, MinkowskiMetric
+from repro.metrics.base import Dataset
+from repro.metrics.specs import metric_from_spec, metric_to_spec
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.index import ProximityGraphIndex
+    from repro.core.sharded import ShardedIndex
 
 __all__ = [
     "FORMAT_VERSION",
+    "SHARDED_FORMAT_VERSION",
     "SUPPORTED_VERSIONS",
+    "MANIFEST_NAME",
     "metric_to_spec",
     "metric_from_spec",
     "save_index",
     "load_index",
+    "save_sharded_index",
+    "load_sharded_index",
+    "load_any",
 ]
 
 FORMAT_VERSION = 2
+SHARDED_FORMAT_VERSION = 3
 SUPPORTED_VERSIONS = (1, 2)
+MANIFEST_NAME = "manifest.json"
 
 # Tag for GNetParameters entries in the serialized meta (the one
 # provenance object stats() needs back as a real object).
 _GNET_PARAMS_TAG = "__gnet_parameters__"
 
 
-def metric_to_spec(metric: MetricSpace) -> dict[str, Any]:
-    """JSON spec of a coordinate metric, or ``NotImplementedError``.
-
-    The supported family is closed by construction: Euclidean /
-    Chebyshev / Minkowski leaves, optionally wrapped in a
-    :class:`ScaledMetric`.  Anything else (counting wrappers, tree
-    metrics, explicit matrices, user subclasses) has no faithful
-    on-disk form here and must not be pickled silently.
-    """
-    if isinstance(metric, EuclideanMetric):
-        return {"kind": "euclidean"}
-    if isinstance(metric, ChebyshevMetric):
-        return {"kind": "chebyshev"}
-    if isinstance(metric, MinkowskiMetric):
-        return {"kind": "minkowski", "p": float(metric.p)}
-    if isinstance(metric, ScaledMetric):
-        return {
-            "kind": "scaled",
-            "factor": float(metric.factor),
-            "inner": metric_to_spec(metric.inner),
-        }
-    raise NotImplementedError(
-        f"cannot save an index over {type(metric).__name__}: only coordinate "
-        "metrics (EuclideanMetric, ChebyshevMetric, MinkowskiMetric, "
-        "optionally ScaledMetric-wrapped) can be serialized"
-    )
-
-
-def metric_from_spec(spec: dict[str, Any]) -> MetricSpace:
-    """Inverse of :func:`metric_to_spec`."""
-    kind = spec.get("kind")
-    if kind == "euclidean":
-        return EuclideanMetric()
-    if kind == "chebyshev":
-        return ChebyshevMetric()
-    if kind == "minkowski":
-        return MinkowskiMetric(spec["p"])
-    if kind == "scaled":
-        return ScaledMetric(metric_from_spec(spec["inner"]), spec["factor"])
-    raise ValueError(f"unknown metric spec {spec!r}")
+# metric_to_spec / metric_from_spec live in repro.metrics.specs (the
+# sharded build/search workers need them without this module); they are
+# re-exported here because the saved-header format is their other home.
 
 
 def _sanitize_meta(meta: dict[str, Any]) -> tuple[dict[str, Any], list[str]]:
@@ -202,7 +182,13 @@ def load_index(path: str | Path, cls: type | None = None) -> "ProximityGraphInde
         from repro.core.index import ProximityGraphIndex as cls
     from repro.core.search import IdMap
 
-    with np.load(Path(path), allow_pickle=False) as data:
+    path = Path(path)
+    if path.is_dir():
+        raise ValueError(
+            f"{path} is a directory — sharded (format v3) indexes load "
+            "via ShardedIndex.load / load_any, not load_index"
+        )
+    with np.load(path, allow_pickle=False) as data:
         header = json.loads(bytes(data["header"].tobytes()).decode("utf-8"))
         version = header.get("format_version")
         if version not in SUPPORTED_VERSIONS:
@@ -246,3 +232,131 @@ def load_index(path: str | Path, cls: type | None = None) -> "ProximityGraphInde
     )
     index.seed = int(header["seed"])
     return index
+
+
+# ----------------------------------------------------------------------
+# Format v3: the sharded manifest directory
+# ----------------------------------------------------------------------
+
+
+def _shard_filename(j: int) -> str:
+    return f"shard-{j:03d}.npz"
+
+
+def save_sharded_index(index: "ShardedIndex", path: str | Path) -> Path:
+    """Write a :class:`ShardedIndex` as a manifest directory.
+
+    ``path`` becomes a directory holding ``manifest.json`` plus one
+    format-v2 per-shard ``.npz`` (written by :func:`save_index`, so
+    everything a flat file preserves — CSR graph, points, id map,
+    tombstones, metric spec, builder options — is preserved per shard).
+    The manifest records the fan-out state that lives *above* the
+    shards: assignment policy, build seed, worker count, and the next
+    fresh external id (so id stability survives delete-then-reload).
+    """
+    path = Path(path)
+    if path.exists() and not path.is_dir():
+        raise ValueError(
+            f"{path} exists and is not a directory; a sharded index "
+            "saves as a manifest directory"
+        )
+    path.mkdir(parents=True, exist_ok=True)
+    shard_files = []
+    for j, shard in enumerate(index.shards):
+        save_index(shard, path / _shard_filename(j))
+        shard_files.append(_shard_filename(j))
+    # Re-saving into a directory that held a wider index must not leave
+    # stale shard files behind: the directory's shard-*.npz set always
+    # matches the manifest exactly.
+    for stale in path.glob("shard-*.npz"):
+        if stale.name not in shard_files:
+            stale.unlink()
+    manifest = {
+        "format_version": SHARDED_FORMAT_VERSION,
+        "kind": "sharded-index",
+        "shards": len(index.shards),
+        "shard_files": shard_files,
+        "assignment": index.assignment,
+        "seed": int(index.seed),
+        "workers": int(index.workers),
+        "search_chunk": int(index.search_chunk),
+        "next_id": int(index._next),
+    }
+    (path / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2))
+    return path
+
+
+def load_sharded_index(path: str | Path, cls: type | None = None) -> "ShardedIndex":
+    """Load a directory written by :func:`save_sharded_index`.
+
+    Errors are diagnosed precisely: a missing manifest, corrupt
+    manifest JSON, a wrong format version, a shard-count mismatch, and
+    missing shard files each raise ``ValueError`` naming the problem —
+    a partially copied index directory must never load quietly.
+    """
+    if cls is None:
+        from repro.core.sharded import ShardedIndex as cls
+
+    path = Path(path)
+    manifest_path = path / MANIFEST_NAME if path.is_dir() else path
+    if not manifest_path.exists():
+        raise ValueError(
+            f"{path} is not a sharded index: no {MANIFEST_NAME} found"
+        )
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ValueError(
+            f"corrupt sharded-index manifest {manifest_path}: {exc}"
+        ) from exc
+    if not isinstance(manifest, dict) or manifest.get("kind") != "sharded-index":
+        raise ValueError(
+            f"{manifest_path} is not a sharded-index manifest "
+            "(missing kind: 'sharded-index')"
+        )
+    version = manifest.get("format_version")
+    if version != SHARDED_FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported sharded format version {version!r} "
+            f"(this build reads version {SHARDED_FORMAT_VERSION})"
+        )
+    root = manifest_path.parent
+    shard_files = manifest.get("shard_files")
+    declared = manifest.get("shards")
+    if not shard_files or declared != len(shard_files):
+        raise ValueError(
+            f"corrupt sharded-index manifest {manifest_path}: declares "
+            f"{declared!r} shards but lists {len(shard_files or [])} files"
+        )
+    shards = []
+    for name in shard_files:
+        shard_path = root / name
+        if not shard_path.exists():
+            raise ValueError(
+                f"sharded index at {root} is incomplete: missing shard "
+                f"file {name} (declared in {MANIFEST_NAME})"
+            )
+        shards.append(load_index(shard_path))
+    return cls(
+        shards,
+        seed=int(manifest.get("seed", 0)),
+        workers=int(manifest.get("workers", 1)),
+        assignment=manifest.get("assignment", "random"),
+        next_id=manifest.get("next_id"),
+        search_chunk=int(manifest.get("search_chunk", 4096)),
+    )
+
+
+def load_any(path: str | Path):
+    """Load whichever index kind lives at ``path``.
+
+    Dispatches on shape: a directory (or a ``manifest.json``) loads as
+    a :class:`ShardedIndex`; a single file as a flat
+    :class:`ProximityGraphIndex`.  The one loader every CLI entry point
+    uses, so saved indexes of either kind are interchangeable from the
+    shell.
+    """
+    path = Path(path)
+    if path.is_dir() or path.name == MANIFEST_NAME:
+        return load_sharded_index(path)
+    return load_index(path)

@@ -101,6 +101,9 @@ class SearchResult:
     evals: np.ndarray
     hops: np.ndarray | None = None
     single: bool = field(default=False, repr=False)
+    # Sharded fan-out only: the (m, n_shards) per-shard breakdown of
+    # ``evals`` (its row sum).  Flat searches leave it None.
+    shard_evals: np.ndarray | None = field(default=None, repr=False)
 
     def __len__(self) -> int:
         return int(self.ids.shape[0])

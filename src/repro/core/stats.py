@@ -36,6 +36,7 @@ __all__ = [
     "compute_ground_truth",
     "compute_ground_truth_k",
     "measure_queries",
+    "recall_at_k",
     "timed",
 ]
 
@@ -134,6 +135,36 @@ def compute_ground_truth_k(
         ids[lo:hi] = np.take_along_axis(part, order, axis=1)
         dists[lo:hi] = mat[rows, ids[lo:hi]]
     return ids, dists
+
+
+def recall_at_k(
+    index: Any,
+    queries: Any,
+    ground_truth: np.ndarray,
+    k: int,
+    params: Any = None,
+) -> float:
+    """Recall@k of an index front door against an exact oracle.
+
+    ``index`` is anything with the :class:`~repro.core.interface.
+    SearchableIndex` surface (flat or sharded); ``ground_truth`` is the
+    ``(m, k)`` id matrix of :func:`compute_ground_truth_k`.  The one
+    recall definition every gate shares: hits are the per-query set
+    intersection of returned and exact ids, averaged over ``m * k``
+    (``-1`` padding can never hit — ground-truth ids are non-negative).
+    Assumes the index's external ids are the dataset row indices (the
+    default identity mapping every bench workload uses).
+    """
+    from repro.core.search import SearchParams
+
+    if params is None:
+        params = SearchParams(beam_width=max(4 * k, 32), seed=0)
+    result = index.search(queries, k=k, params=params)
+    hits = sum(
+        len(set(ground_truth[i].tolist()) & set(result.ids[i].tolist()))
+        for i in range(result.m)
+    )
+    return hits / (max(result.m, 1) * k)
 
 
 def measure_queries(

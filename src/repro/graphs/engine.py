@@ -21,6 +21,7 @@ an accounting change.
 
 from __future__ import annotations
 
+import dataclasses
 import heapq
 from typing import Any, Iterable, Protocol, Sequence, runtime_checkable
 
@@ -37,6 +38,14 @@ __all__ = [
     "WaveInserter",
     "bulk_insert",
     "snapshot_graph",
+    "robust_prune",
+    "locate_wave_pools",
+    "prune_and_link",
+    "RepairInserter",
+    "chunk_spans",
+    "shard_search_entry",
+    "preload_shard_cache",
+    "reset_shard_worker_cache",
 ]
 
 
@@ -577,6 +586,164 @@ def bulk_insert(
     return waves
 
 
+# ----------------------------------------------------------------------
+# Shared wave-repair plumbing: locate / prune / link
+#
+# Every insertion-based construction and every incremental repair does
+# the same two things per point: *locate* a candidate pool by beam
+# search over the graph as it stands, and *commit* the point by
+# RobustPrune + bidirectional linking with overflow re-pruning.  These
+# helpers are that plumbing, shared by the Vamana builder and the index
+# facade's ``add()`` repair path (via :class:`RepairInserter`).
+# ----------------------------------------------------------------------
+
+
+def robust_prune(
+    dataset: Dataset,
+    pid: int,
+    v_arr: np.ndarray,
+    d_arr: np.ndarray,
+    alpha: float,
+    max_degree: int,
+) -> list[int]:
+    """The RobustPrune of DiskANN [19], array-native and builder-agnostic.
+
+    Keep the closest candidate, discard any candidate ``v`` with
+    ``alpha * D(kept, v) <= D(pid, v)``, repeat until ``max_degree``
+    neighbors are kept.  Candidates need not be sorted or unique;
+    duplicates keep their smallest distance.  All kept-to-candidate
+    distances come from one cross-distance matrix (a single BLAS call
+    for coordinate metrics), so the greedy scan below only does cheap
+    row masking.
+    """
+    order = np.lexsort((v_arr, d_arr))
+    v_s, d_s = v_arr[order], d_arr[order]
+    mask = v_s != pid
+    v_s, d_s = v_s[mask], d_s[mask]
+    if not len(v_s):
+        return []
+    # First occurrence per id in (d, v) order = its smallest distance.
+    _, first = np.unique(v_s, return_index=True)
+    if len(first) != len(v_s):
+        take = np.sort(first)
+        v_s, d_s = v_s[take], d_s[take]
+    mat = dataset.metric.pairwise(dataset.points[v_s])
+    alive = np.ones(len(v_s), dtype=bool)
+    kept: list[int] = []
+    pos, P = 0, len(v_s)
+    while len(kept) < max_degree:
+        while pos < P and not alive[pos]:
+            pos += 1
+        if pos >= P:
+            break
+        kept.append(int(v_s[pos]))
+        if len(kept) >= max_degree:
+            break
+        alive &= alpha * mat[pos] > d_s
+        pos += 1
+    return kept
+
+
+def locate_wave_pools(
+    dataset: Dataset,
+    adj: Sequence[Any],
+    entry: int,
+    pids: Sequence[int],
+    beam_width: int,
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Locate one candidate pool per wave member against the frozen
+    prefix: snapshot the mutable adjacency once, then run one lockstep
+    :func:`construction_beam_batch` from ``entry`` for the whole wave.
+    This is the ``locate_wave`` body every RobustPrune-style inserter
+    shares.  Returns ``(ids, distances)`` pools ascending by distance.
+    """
+    idx = np.asarray(pids, dtype=np.intp)
+    prefix = snapshot_graph(len(adj), adj, sort=False)
+    return construction_beam_batch(
+        prefix,
+        dataset,
+        [int(entry)] * len(idx),
+        dataset.points[idx],
+        beam_width=beam_width,
+    )
+
+
+def prune_and_link(
+    dataset: Dataset,
+    adj: list[list[int]],
+    pid: int,
+    v_arr: np.ndarray,
+    d_arr: np.ndarray,
+    alpha: float,
+    max_degree: int,
+) -> None:
+    """Commit one point from its located pool: RobustPrune its out-edges,
+    then add backlinks with overflow re-pruning — the ``commit`` body
+    every RobustPrune-style inserter shares.
+    """
+    adj[pid] = robust_prune(dataset, pid, v_arr, d_arr, alpha, max_degree)
+    for v in adj[pid]:
+        nbrs = adj[v]
+        if pid not in nbrs:
+            nbrs.append(pid)
+            if len(nbrs) > max_degree:
+                arr = np.asarray(nbrs, dtype=np.intp)
+                dists = dataset.distances_from_index(v, arr)
+                adj[v] = robust_prune(dataset, v, arr, dists, alpha, max_degree)
+
+
+class RepairInserter:
+    """:class:`WaveInserter` linking new points into a finished graph.
+
+    Vamana-style incremental repair: each new point's candidate pool is
+    located by beam search over the current graph (vectorized per wave
+    by :func:`bulk_insert` + :func:`locate_wave_pools`), its out-edges
+    chosen by RobustPrune, and backlinks added with overflow re-pruning
+    (:func:`prune_and_link`).  Works for any builder's graph — it only
+    needs the dataset's distances — which is what lets every index grow,
+    at the price of the paper's worst-case guarantee (the facade clears
+    ``guaranteed`` on this path; ``gnet`` indexes keep it via the
+    dynamic-net path instead).
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        adj: list[list[int]],
+        entry: int,
+        max_degree: int,
+        beam_width: int,
+        alpha: float = 1.2,
+    ):
+        self.dataset = dataset
+        self._adj = adj
+        self.entry = int(entry)
+        self.max_degree = int(max_degree)
+        self.beam_width = int(beam_width)
+        self.alpha = float(alpha)
+
+    # -- WaveInserter protocol -----------------------------------------
+
+    def insert_one(self, pid: int) -> None:
+        self.commit(pid, self.locate_wave([pid])[0])
+
+    def locate_wave(self, pids: Sequence[int]) -> list[tuple[np.ndarray, np.ndarray]]:
+        return locate_wave_pools(
+            self.dataset, self._adj, self.entry, pids, self.beam_width
+        )
+
+    def commit(self, pid: int, pool: tuple[np.ndarray, np.ndarray]) -> None:
+        prune_and_link(
+            self.dataset,
+            self._adj,
+            int(pid),
+            np.asarray(pool[0], dtype=np.intp),
+            np.asarray(pool[1], dtype=np.float64),
+            self.alpha,
+            self.max_degree,
+        )
+
+
 def snapshot_graph(n: int, rows: Sequence[Any], sort: bool = True) -> ProximityGraph:
     """Freeze a builder's in-progress adjacency into a CSR graph, fast.
 
@@ -605,3 +772,144 @@ def snapshot_graph(n: int, rows: Sequence[Any], sort: bool = True) -> ProximityG
         row_ids = np.repeat(np.arange(n, dtype=np.intp), lens)
         flat = flat[np.lexsort((flat, row_ids))]
     return ProximityGraph.from_csr(n, offsets, flat, validate=False)
+
+
+# ----------------------------------------------------------------------
+# Chunked execution + the shard-search worker entry point
+# ----------------------------------------------------------------------
+
+
+def chunk_spans(total: int, chunk: int) -> list[tuple[int, int]]:
+    """Split ``range(total)`` into ``[start, stop)`` spans of ``chunk``.
+
+    The lockstep engines hold per-query state for the whole batch (and
+    :func:`construction_beam_batch` a dense ``(w, n)`` visited bitmap),
+    so unbounded batches mean unbounded peak memory.  Drivers — the
+    sharded fan-out, the worker entry point below — run one engine call
+    per span instead, bounding state at ``chunk`` queries while keeping
+    every call fully vectorized.
+    """
+    if chunk < 1:
+        raise ValueError("chunk size must be at least 1")
+    return [(lo, min(lo + chunk, total)) for lo in range(0, total, chunk)]
+
+
+# Per-process cache of rehydrated shards — (index, arena attachment)
+# pairs keyed by the parent's (sharded-index token, generation, shard)
+# tuple.  The pool initializer (:func:`preload_shard_cache`) fills it
+# once per worker at pool creation, so search tasks ship only queries —
+# never points or CSR arrays.  A mutation in the parent bumps the
+# generation and recreates the pool, so stale graphs are never reused;
+# cached attachments live exactly as long as their worker process
+# (attaching never registers with the resource tracker, and process
+# exit unmaps).
+_SHARD_CACHE: dict[Any, tuple[Any, Any]] = {}
+
+
+def reset_shard_worker_cache() -> None:
+    """Drop every cached shard, closing any arena attachments."""
+    for _index, attachment in _SHARD_CACHE.values():
+        if attachment is not None:
+            attachment.close()
+    _SHARD_CACHE.clear()
+
+
+def preload_shard_cache(keys: Sequence[Any], payloads: Sequence[dict]) -> None:
+    """Process-pool *initializer*: rehydrate every shard once per worker.
+
+    Runs in each worker as it starts (under any start method — the
+    arguments are plain picklable values), replacing whatever a prior
+    pool generation left behind.  After this, :func:`shard_search_entry`
+    tasks carry only a cache key and the queries.
+    """
+    from repro.core.sharded import rehydrate_shard  # circular-import guard
+
+    reset_shard_worker_cache()
+    for key, payload in zip(keys, payloads):
+        _SHARD_CACHE[key] = rehydrate_shard(payload)
+
+
+def shard_search_entry(task: dict) -> dict:
+    """Process-pool entry point: one shard's slice of a fan-out search.
+
+    ``task`` is a plain picklable dict (spawn-safe by construction):
+
+    * ``key`` — cache token of a shard preloaded by
+      :func:`preload_shard_cache` (the fan-out path), or ``None``,
+    * ``payload`` — the shard wire form (CSR arrays, metric spec, arena
+      span or inline points; see ``repro.core.sharded.shard_payload``)
+      for standalone tasks that skipped the preload,
+    * ``queries`` / ``k`` / ``params`` — the search call to run,
+    * ``chunk`` — optional query-chunk size for bounded lockstep state.
+
+    Returns the result's raw arrays (``ids``/``distances``/``evals``,
+    plus ``hops`` for greedy) — external ids, original distance units —
+    for the parent to merge.  Start vertices are drawn for the *whole*
+    batch before chunking, so answers are identical for every chunk
+    size.
+    """
+    from repro.core.sharded import rehydrate_shard  # circular-import guard
+
+    key = task.get("key")
+    cached = _SHARD_CACHE.get(key) if key is not None else None
+    if cached is not None:
+        return run_shard_search(
+            cached[0], task["queries"], task["k"], task["params"],
+            task.get("chunk"),
+        )
+    if "payload" not in task:
+        raise RuntimeError(
+            f"shard cache miss for key {key!r} and the task carries no "
+            "payload — was the pool created without preload_shard_cache?"
+        )
+    index, attachment = rehydrate_shard(task["payload"])
+    try:
+        return run_shard_search(
+            index, task["queries"], task["k"], task["params"], task.get("chunk")
+        )
+    finally:
+        if attachment is not None:
+            attachment.close()
+
+
+def run_shard_search(
+    index: Any,
+    queries: Any,
+    k: int,
+    params: Any,
+    chunk: int | None = None,
+) -> dict:
+    """Run one shard's ``search`` (optionally chunked) to raw arrays.
+
+    Used by the worker entry point above and by the in-process fan-out,
+    so both paths execute literally the same code.
+    """
+    m = len(queries)
+    if params.starts is None and chunk is not None and m > chunk:
+        # Draw the whole batch's start vertices up front so chunked and
+        # unchunked execution answer identically.
+        gen = np.random.default_rng(
+            index.seed if params.seed is None else params.seed
+        )
+        params = dataclasses.replace(
+            params, starts=gen.integers(index.n, size=m)
+        )
+    spans = chunk_spans(m, chunk) if chunk is not None and m else [(0, m)]
+    parts = []
+    for lo, hi in spans:
+        sub = params
+        if params.starts is not None:
+            sub = dataclasses.replace(
+                params, starts=np.asarray(params.starts)[lo:hi]
+            )
+        parts.append(index.search(queries[lo:hi], k=k, params=sub))
+    out = {
+        "ids": np.concatenate([p.ids for p in parts], axis=0),
+        "distances": np.concatenate([p.distances for p in parts], axis=0),
+        "evals": np.concatenate([p.evals for p in parts], axis=0),
+    }
+    if all(p.hops is not None for p in parts):
+        out["hops"] = np.concatenate([p.hops for p in parts], axis=0)
+    else:
+        out["hops"] = None
+    return out

@@ -5,6 +5,7 @@ See :mod:`repro.metrics.base` for the core interfaces.
 """
 
 from repro.metrics.adversarial import AdversaryNotCommittedError, BlockAdversarialMetric
+from repro.metrics.arena import ArenaSpec, AttachedArena, SharedArena, attach
 from repro.metrics.base import Dataset, ExplicitMatrixMetric, MetricSpace, ScaledMetric
 from repro.metrics.counting import CountingMetric
 from repro.metrics.doubling import (
@@ -20,11 +21,16 @@ from repro.metrics.scaling import (
     normalize_min_distance,
     spread_parameters,
 )
+from repro.metrics.specs import metric_from_spec, metric_to_spec
 from repro.metrics.tree_metric import TreeMetric, lca_level
 
 __all__ = [
     "AdversaryNotCommittedError",
+    "ArenaSpec",
+    "AttachedArena",
     "BlockAdversarialMetric",
+    "SharedArena",
+    "attach",
     "ChebyshevMetric",
     "CountingMetric",
     "Dataset",
@@ -40,6 +46,8 @@ __all__ = [
     "estimate_extremes",
     "greedy_half_radius_cover",
     "lca_level",
+    "metric_from_spec",
+    "metric_to_spec",
     "normalize_min_distance",
     "packing_bound",
     "spread_parameters",

@@ -1,0 +1,128 @@
+"""Shared-memory point arenas — zero-copy datasets across processes.
+
+The sharded index partitions one ``(n, d)`` coordinate array into K
+contiguous row ranges and hands each range to a worker process.  Copying
+the rows into every task would serialize the whole collection through
+pickle; instead the parent writes the (shard-grouped) array **once**
+into a :class:`multiprocessing.shared_memory.SharedMemory` block and
+ships only a tiny picklable :class:`ArenaSpec`.  Workers attach to the
+block by name and build numpy views — no bytes move, under ``fork`` and
+``spawn`` alike.
+
+Lifecycle: exactly one process (the creating parent) *owns* the block
+and eventually unlinks it; every attacher only closes its mapping.
+:class:`SharedArena` is a context manager on the owning side, and
+:func:`attach` returns a handle whose ``close()`` the worker calls when
+its task ends (the entry points in :mod:`repro.graphs.engine` and
+:mod:`repro.core.sharded` do this in ``finally`` blocks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Any
+
+import numpy as np
+
+__all__ = ["ArenaSpec", "SharedArena", "AttachedArena", "attach"]
+
+
+@dataclass(frozen=True)
+class ArenaSpec:
+    """Everything a worker needs to attach: name, shape, dtype string.
+
+    A frozen dataclass of primitives — picklable under every start
+    method, and hashable so worker-side caches can key on it.
+    """
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: str
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "shape", tuple(int(s) for s in self.shape))
+
+
+def _as_view(shm: shared_memory.SharedMemory, spec: ArenaSpec) -> np.ndarray:
+    return np.ndarray(spec.shape, dtype=np.dtype(spec.dtype), buffer=shm.buf)
+
+
+class SharedArena:
+    """The owning side of a shared-memory point array.
+
+    Create with :meth:`create` (copies the points in once); pass
+    ``arena.spec`` to workers; call :meth:`close` (or use as a context
+    manager) when every consumer is done — closing the owner also
+    unlinks the block.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory, spec: ArenaSpec):
+        self._shm = shm
+        self.spec = spec
+        self.array = _as_view(shm, spec)
+
+    @classmethod
+    def create(cls, points: np.ndarray) -> "SharedArena":
+        points = np.ascontiguousarray(points)
+        if points.dtype == object or not np.issubdtype(points.dtype, np.number):
+            raise NotImplementedError(
+                "shared arenas hold numeric coordinate arrays only "
+                f"(got dtype {points.dtype})"
+            )
+        shm = shared_memory.SharedMemory(create=True, size=max(points.nbytes, 1))
+        spec = ArenaSpec(shm.name, points.shape, points.dtype.str)
+        arena = cls(shm, spec)
+        arena.array[...] = points
+        return arena
+
+    def view(self, start: int, stop: int) -> np.ndarray:
+        """Zero-copy view of rows ``start:stop`` (the parent-side shard view)."""
+        return self.array[start:stop]
+
+    def close(self) -> None:
+        """Release the owner's mapping and unlink the block."""
+        if self._shm is None:
+            return
+        self.array = None
+        self._shm.close()
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+        self._shm = None
+
+    def __enter__(self) -> "SharedArena":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC backstop
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+class AttachedArena:
+    """A worker-side attachment: the array view plus its ``close()``."""
+
+    def __init__(self, spec: ArenaSpec):
+        self._shm = shared_memory.SharedMemory(name=spec.name)
+        self.array = _as_view(self._shm, spec)
+
+    def view(self, start: int, stop: int) -> np.ndarray:
+        return self.array[start:stop]
+
+    def close(self) -> None:
+        if self._shm is None:
+            return
+        self.array = None
+        self._shm.close()
+        self._shm = None
+
+
+def attach(spec: ArenaSpec) -> AttachedArena:
+    """Attach to an arena created by another process (never unlinks)."""
+    return AttachedArena(spec)

@@ -1,0 +1,63 @@
+"""Picklable metric specs — the spawn-safe wire form of a metric.
+
+A *spec* is a small JSON-safe dict describing a coordinate metric
+(Euclidean / Chebyshev / Minkowski, optionally wrapped in the
+normalization :class:`~repro.metrics.base.ScaledMetric`).  Specs serve
+two consumers:
+
+* **persistence** (:mod:`repro.core.persistence`) embeds them in the
+  saved index header so a load reconstructs the exact metric;
+* **process workers** (the sharded build/search pools) receive a spec
+  instead of a live metric object, so shard tasks stay picklable under
+  *any* multiprocessing start method — including ``spawn``, where
+  nothing is inherited from the parent.
+
+The supported family is closed by construction: anything else (counting
+wrappers, tree metrics, explicit matrices, user subclasses) has no
+faithful wire form here and raises :class:`NotImplementedError` rather
+than being pickled silently.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.metrics.base import MetricSpace, ScaledMetric
+from repro.metrics.euclidean import ChebyshevMetric, EuclideanMetric, MinkowskiMetric
+
+__all__ = ["metric_to_spec", "metric_from_spec"]
+
+
+def metric_to_spec(metric: MetricSpace) -> dict[str, Any]:
+    """JSON/pickle-safe spec of a coordinate metric, or ``NotImplementedError``."""
+    if isinstance(metric, EuclideanMetric):
+        return {"kind": "euclidean"}
+    if isinstance(metric, ChebyshevMetric):
+        return {"kind": "chebyshev"}
+    if isinstance(metric, MinkowskiMetric):
+        return {"kind": "minkowski", "p": float(metric.p)}
+    if isinstance(metric, ScaledMetric):
+        return {
+            "kind": "scaled",
+            "factor": float(metric.factor),
+            "inner": metric_to_spec(metric.inner),
+        }
+    raise NotImplementedError(
+        f"cannot save an index over {type(metric).__name__}: only coordinate "
+        "metrics (EuclideanMetric, ChebyshevMetric, MinkowskiMetric, "
+        "optionally ScaledMetric-wrapped) can be serialized"
+    )
+
+
+def metric_from_spec(spec: dict[str, Any]) -> MetricSpace:
+    """Inverse of :func:`metric_to_spec`."""
+    kind = spec.get("kind")
+    if kind == "euclidean":
+        return EuclideanMetric()
+    if kind == "chebyshev":
+        return ChebyshevMetric()
+    if kind == "minkowski":
+        return MinkowskiMetric(spec["p"])
+    if kind == "scaled":
+        return ScaledMetric(metric_from_spec(spec["inner"]), spec["factor"])
+    raise ValueError(f"unknown metric spec {spec!r}")
