@@ -29,6 +29,7 @@ from repro.core.stats import (
     compute_ground_truth,
     compute_ground_truth_k,
     measure_queries,
+    storage_breakdown,
 )
 from repro.graphs import (
     ProximityGraph,
@@ -40,20 +41,25 @@ from repro.graphs import (
     greedy_batch,
 )
 from repro.metrics import Dataset, EuclideanMetric, MetricSpace
+from repro.storage import FlatStore, PQStore, SQ8Store, VectorStore, make_store
 
 __version__ = "1.0.0"
 
 __all__ = [
     "Dataset",
     "EuclideanMetric",
+    "FlatStore",
     "IdMap",
     "MetricSpace",
+    "PQStore",
     "ProximityGraph",
     "ProximityGraphIndex",
+    "SQ8Store",
     "SearchParams",
     "SearchResult",
     "SearchableIndex",
     "ShardedIndex",
+    "VectorStore",
     "available_builders",
     "build",
     "build_gnet",
@@ -65,6 +71,8 @@ __all__ = [
     "greedy",
     "greedy_batch",
     "load_any",
+    "make_store",
     "measure_queries",
+    "storage_breakdown",
     "__version__",
 ]

@@ -34,19 +34,40 @@ from typing import Any, Sequence
 
 import numpy as np
 
+import warnings
+
 from repro.graphs.base import ProximityGraph
 from repro.graphs.engine import (
     bulk_insert,
     locate_wave_pools,
     prune_and_link,
-    robust_prune,
 )
+from repro.graphs.engine import robust_prune as _engine_robust_prune
 from repro.metrics.base import Dataset
 
-# robust_prune lives in repro.graphs.engine with the rest of the shared
-# wave-repair plumbing; re-exported here because it is the RobustPrune
-# of [19] and this module is its natural home for readers of the paper.
+# robust_prune moved to repro.graphs.engine with the rest of the shared
+# wave-repair plumbing (PR 4).  ``repro.baselines.vamana.robust_prune``
+# stays importable as a deprecated delegate (module __getattr__ below,
+# DeprecationWarning once per process) so downstream callers keep
+# working while the warning points them at the new home.
 __all__ = ["VamanaIndex", "robust_prune"]
+
+_DELEGATE_WARNED = False
+
+
+def __getattr__(name: str):
+    if name == "robust_prune":
+        global _DELEGATE_WARNED
+        if not _DELEGATE_WARNED:
+            _DELEGATE_WARNED = True
+            warnings.warn(
+                "repro.baselines.vamana.robust_prune is deprecated; import "
+                "it from repro.graphs.engine",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        return _engine_robust_prune
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 class VamanaIndex:
@@ -153,7 +174,9 @@ class VamanaIndex:
     def _robust_prune_arrays(
         self, pid: int, v_arr: np.ndarray, d_arr: np.ndarray, alpha: float
     ) -> list[int]:
-        return robust_prune(self.dataset, pid, v_arr, d_arr, alpha, self.max_degree)
+        return _engine_robust_prune(
+            self.dataset, pid, v_arr, d_arr, alpha, self.max_degree
+        )
 
     def _commit_arrays(
         self, pid: int, v_arr: np.ndarray, d_arr: np.ndarray, alpha: float

@@ -10,9 +10,13 @@ graphs from the shell.
     python -m repro bench-build points.npy --method vamana --shards 4 --workers 4
     python -m repro save-index points.npy index.npz --method vamana
     python -m repro save-index points.npy index_dir --shards 4 --workers 4
+    python -m repro save-index points.npy index.npz --storage pq
     python -m repro load-index index.npz --q 0.25 0.75
     python -m repro search index.npz --q 0.25 0.75 --k 10 --beam-width 32
+    python -m repro search index.npz --q 0.25 0.75 --k 10 --rerank-factor 4
     python -m repro search index_dir --queries-file queries.npy --k 10 --workers 4
+    python -m repro index info index.npz
+    python -m repro bench-storage points.npy --method vamana
     python -m repro add    index.npz points.npy
     python -m repro delete index.npz --ids 3 17 29 --compact
     python -m repro builders
@@ -25,8 +29,12 @@ metadata sidecar (method, epsilon, normalization factor) so
 persists via ``save-index``/``load-index``.  ``save-index --shards K``
 builds a sharded index instead (process-parallel with ``--workers``)
 and saves it as a manifest *directory*; every index-consuming
-subcommand (``search``/``add``/``delete``/``load-index``) accepts
-either kind transparently.
+subcommand (``search``/``add``/``delete``/``load-index``/``index
+info``) accepts either kind transparently.  ``save-index --storage
+{flat,sq8,pq}`` selects the vector storage (quantized indexes traverse
+compressed codes and exact-rerank; tune with ``search
+--rerank-factor``); ``index info`` prints the memory breakdown and
+``bench-storage`` compares the three storages on one workload.
 """
 
 from __future__ import annotations
@@ -48,8 +56,10 @@ from repro.core.stats import (
     compute_ground_truth_k,
     measure_queries,
     recall_at_k,
+    storage_breakdown,
     timed,
 )
+from repro.storage import STORAGE_KINDS
 from repro.graphs.base import ProximityGraph
 from repro.graphs.engine import beam_search_batch, greedy_batch
 from repro.graphs.greedy import greedy
@@ -252,6 +262,7 @@ def _cmd_save_index(args: argparse.Namespace) -> int:
                 shards=args.shards,
                 workers=args.workers,
                 assignment=args.assignment,
+                storage=args.storage,
                 **(
                     {}
                     if args.batch_size is None
@@ -267,6 +278,7 @@ def _cmd_save_index(args: argparse.Namespace) -> int:
                 method=args.method,
                 seed=args.seed,
                 batch_size=args.batch_size,
+                storage=args.storage,
             )
         )
     written = index.save(args.index)
@@ -317,6 +329,7 @@ def _cmd_search(args: argparse.Namespace) -> int:
         budget=args.budget,
         seed=args.seed,
         allowed_ids=args.allowed if args.allowed else None,
+        rerank_factor=args.rerank_factor,
     )
     result, seconds = timed(lambda: index.search(queries, k=args.k, params=params))
     out = {
@@ -372,6 +385,79 @@ def _cmd_delete(args: argparse.Namespace) -> int:
     out["deleted"] = removed
     out["compacted"] = bool(args.compact)
     out["index_file"] = str(written)
+    print(json.dumps(out, indent=2))
+    return 0
+
+
+def _cmd_index_info(args: argparse.Namespace) -> int:
+    """Kind, counts, storage mode, and the memory breakdown of a saved
+    index (either kind)."""
+    index = load_any(args.index)
+    out = {
+        "kind": "sharded" if isinstance(index, ShardedIndex) else "flat",
+        "n": int(index.n),
+        "active": int(index.active_count),
+        "tombstones": int(index.tombstone_count),
+        "epsilon": float(index.epsilon),
+        "storage": storage_breakdown(index),
+    }
+    if isinstance(index, ShardedIndex):
+        out["shards"] = index.n_shards
+        out["builder"] = index.shards[0].built.name
+    else:
+        out["builder"] = index.built.name
+    print(json.dumps(out, indent=2))
+    return 0
+
+
+def _cmd_bench_storage(args: argparse.Namespace) -> int:
+    """Flat vs SQ8 vs PQ on one workload: recall@k (rerank on), memory
+    breakdown, and search wall time — one graph, three storages."""
+    points = _load_points(args.points)
+    rng = np.random.default_rng(args.seed)
+    queries = np.concatenate(
+        [
+            uniform_queries(args.queries // 2, points, rng),
+            near_data_queries(args.queries - args.queries // 2, points, rng),
+        ]
+    )
+    gt, _ = compute_ground_truth_k(
+        Dataset(EuclideanMetric(), points), queries, k=args.k
+    )
+    index, build_seconds = timed(
+        lambda: ProximityGraphIndex.build(
+            points, epsilon=args.epsilon, method=args.method, seed=args.seed
+        )
+    )
+    params = SearchParams(
+        beam_width=args.beam_width, seed=args.seed,
+        rerank_factor=args.rerank_factor,
+    )
+    rows = []
+    for kind in STORAGE_KINDS:
+        index.set_storage(kind)
+        recall, seconds = timed(
+            lambda: recall_at_k(index, queries, gt, args.k, params=params)
+        )
+        mem = storage_breakdown(index)
+        rows.append(
+            {
+                "storage": kind,
+                f"recall_at_{args.k}": round(recall, 4),
+                "bytes_per_vector": mem["traversal_bytes_per_vector"],
+                "compression": mem["compression"],
+                "search_seconds": round(seconds, 3),
+            }
+        )
+    out = {
+        "method": args.method,
+        "n": int(len(points)),
+        "queries": len(queries),
+        "beam_width": args.beam_width,
+        "rerank_factor": args.rerank_factor,
+        "build_seconds": round(build_seconds, 3),
+        "storages": rows,
+    }
     print(json.dumps(out, indent=2))
     return 0
 
@@ -503,6 +589,9 @@ def _parser() -> argparse.ArgumentParser:
     p.add_argument("--assignment", default="random",
                    choices=["random", "kmeans"],
                    help="shard assignment policy")
+    p.add_argument("--storage", default="flat", choices=list(STORAGE_KINDS),
+                   help="vector storage: flat (exact), sq8 (8-bit scalar "
+                   "quantization), pq (product quantization + ADC)")
     p.set_defaults(fn=_cmd_save_index)
 
     p = sub.add_parser(
@@ -536,7 +625,20 @@ def _parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=None,
                    help="fan a sharded index's search out over this "
                    "many worker processes (sharded indexes only)")
+    p.add_argument("--rerank-factor", type=int, default=None,
+                   help="over-fetch multiplier of the compressed-traversal "
+                   "+ exact-rerank pipeline (quantized indexes; default: "
+                   "the storage's own, 2 for sq8 / 4 for pq)")
     p.set_defaults(fn=_cmd_search)
+
+    p = sub.add_parser("index", help="saved-index utilities")
+    isub = p.add_subparsers(dest="index_command", required=True)
+    pi = isub.add_parser(
+        "info",
+        help="kind, point counts, storage mode, and memory breakdown",
+    )
+    pi.add_argument("index")
+    pi.set_defaults(fn=_cmd_index_info)
 
     p = sub.add_parser(
         "add", help="insert an (n, d) .npy of new points into a saved index"
@@ -620,6 +722,21 @@ def _parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=1,
                    help="process-pool size for the sharded side")
     p.set_defaults(fn=_cmd_bench_build)
+
+    p = sub.add_parser(
+        "bench-storage",
+        help="flat vs sq8 vs pq on one graph: recall, memory, wall time",
+    )
+    p.add_argument("points")
+    p.add_argument("--method", default="vamana", choices=available_builders())
+    p.add_argument("--epsilon", type=float, default=0.5)
+    p.add_argument("--queries", type=int, default=200)
+    p.add_argument("--k", type=int, default=10)
+    p.add_argument("--beam-width", type=int, default=64)
+    p.add_argument("--rerank-factor", type=int, default=None,
+                   help="rerank over-fetch (default: each storage's own)")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_bench_storage)
     return parser
 
 

@@ -18,6 +18,7 @@ from repro.core.stats import (
     compute_ground_truth,
     compute_ground_truth_k,
     measure_queries,
+    storage_breakdown,
     timed,
 )
 
@@ -38,5 +39,6 @@ __all__ = [
     "load_any",
     "measure_queries",
     "register_builder",
+    "storage_breakdown",
     "timed",
 ]

@@ -52,6 +52,9 @@ from repro.graphs.navigability import NavigabilityViolation, find_violations
 from repro.metrics.base import Dataset, MetricSpace, ScaledMetric
 from repro.metrics.euclidean import ChebyshevMetric, EuclideanMetric, MinkowskiMetric
 from repro.metrics.scaling import normalize_min_distance
+from repro.storage import make_store, validate_storage_options
+from repro.storage.base import VectorStore
+from repro.storage.flat import FlatStore
 
 __all__ = ["ProximityGraphIndex"]
 
@@ -92,12 +95,20 @@ class ProximityGraphIndex:
         seed: int = 0,
         id_map: IdMap | None = None,
         tombstones: np.ndarray | None = None,
+        store: VectorStore | None = None,
     ):
         self.dataset = dataset
         self.built = built
         self.scale = scale
         self.seed = int(seed)
         self._rng = rng
+        # How the vectors are held for traversal; FlatStore (exact, the
+        # raw array) unless build()/set_storage() installed a quantizer.
+        self.store: VectorStore = (
+            store
+            if store is not None
+            else FlatStore(dataset.metric, dataset.points)
+        )
         self.id_map = id_map if id_map is not None else IdMap.identity(dataset.n)
         if len(self.id_map) != dataset.n:
             raise ValueError("id map must cover every point")
@@ -122,6 +133,8 @@ class ProximityGraphIndex:
         normalize: bool = True,
         seed: int = 0,
         ids: Sequence[int] | None = None,
+        storage: str = "flat",
+        storage_options: dict[str, Any] | None = None,
         **options: Any,
     ) -> "ProximityGraphIndex":
         """Build an index over raw points.
@@ -147,6 +160,15 @@ class ProximityGraphIndex:
             to ``0..n-1``.  External ids are what :meth:`search` returns
             and what :meth:`delete` accepts, and they stay stable under
             every mutation.
+        storage:
+            How the index *holds* its vectors for graph traversal:
+            ``"flat"`` (raw float array, exact — the default, and
+            bit-identical to indexes built before the storage layer),
+            ``"sq8"`` (8-bit scalar quantization), or ``"pq"`` (product
+            quantization with ADC lookup tables).  Quantized indexes
+            traverse compressed and exact-rerank an over-fetched pool —
+            see ``SearchParams.rerank_factor``.  ``storage_options``
+            passes quantizer knobs through (e.g. ``m``/``ks`` for pq).
 
         Extra options (including ``batch_size``, the batched
         construction wave size for the insertion builders — see
@@ -156,6 +178,12 @@ class ProximityGraphIndex:
         if metric is None:
             points = np.asarray(points, dtype=np.float64)
             metric = EuclideanMetric()
+        # Fail fast on a bad quantizer config, BEFORE the graph build.
+        arr = np.asarray(points)
+        validate_storage_options(
+            storage, storage_options,
+            dim=int(arr.shape[1]) if arr.ndim == 2 else None,
+        )
         dataset = Dataset(metric, points)
         scale = 1.0
         if normalize:
@@ -166,9 +194,13 @@ class ProximityGraphIndex:
             raise ValueError(
                 f"need exactly {dataset.n} external ids, got {len(id_map)}"
             )
+        store = make_store(
+            storage, dataset.metric, dataset.points, seed=seed,
+            **(storage_options or {}),
+        )
         return cls(
             dataset=dataset, built=built, scale=scale, rng=rng, seed=seed,
-            id_map=id_map,
+            id_map=id_map, store=store,
         )
 
     # ------------------------------------------------------------------
@@ -245,13 +277,23 @@ class ProximityGraphIndex:
 
         Routes everything through the vectorized lockstep engine: the
         paper's greedy routine for plain ``k=1`` searches, best-first
-        beam search otherwise (``k > 1``, an explicit ``beam_width``, or
-        an active filter).  Returns a :class:`SearchResult` with dense
-        ``(m, k)`` arrays of external ids and original-unit distances
-        plus per-query cost stats.  See :class:`SearchParams` for every
-        knob (budget, starts/seed, ``allowed_ids`` filtering).  Calls
-        with identical arguments return identical results: default start
+        beam search otherwise (``k > 1``, an explicit ``beam_width``, an
+        active filter, or quantized storage).  Returns a
+        :class:`SearchResult` with dense ``(m, k)`` arrays of external
+        ids and original-unit distances plus per-query cost stats.  See
+        :class:`SearchParams` for every knob (budget, starts/seed,
+        ``allowed_ids`` filtering, ``rerank_factor``).  Calls with
+        identical arguments return identical results: default start
         vertices come from a fresh seeded generator, never shared state.
+
+        With quantized storage (``sq8``/``pq``) the search is
+        **two-stage**: the graph walk runs over the store's compressed
+        codes (PQ binds its ADC lookup tables once per batch), an
+        over-fetched pool of ``k * rerank_factor`` candidates survives,
+        and one exact-distance pass over the raw vectors returns the top
+        ``k`` — reported distances are always exact, in original units.
+        The rerank's exact evaluations are included in ``evals`` (they
+        are not subject to ``budget``, which caps traversal only).
         """
         if k < 1:
             raise ValueError("k must be at least 1")
@@ -261,9 +303,23 @@ class ProximityGraphIndex:
         m = len(Q)
         allowed = self._allowed_mask(params)
 
+        store = self.store
+        quantized = store.is_quantized
+        rerank = (
+            params.rerank_factor
+            if params.rerank_factor is not None
+            else store.default_rerank_factor
+        )
+        traversal_store = store if quantized else None
+
         mode = params.mode
         if mode == "auto":
-            use_greedy = k == 1 and params.beam_width is None and allowed is None
+            use_greedy = (
+                k == 1
+                and params.beam_width is None
+                and allowed is None
+                and not quantized
+            )
             mode = "greedy" if use_greedy else "beam"
         if mode == "greedy" and k != 1:
             raise ValueError(
@@ -291,32 +347,79 @@ class ProximityGraphIndex:
         if mode == "greedy":
             results = greedy_batch(
                 self.graph, self.dataset, starts, Q,
-                budget=params.budget, allowed=allowed,
+                budget=params.budget, allowed=allowed, store=traversal_store,
             )
             ids[:, 0] = self.id_map.to_external([r.point for r in results])
-            dists[:, 0] = [self._to_original(r.distance) for r in results]
             evals[:] = [r.distance_evals for r in results]
+            if quantized:
+                # The walk measured code distances; report the exact one.
+                for i, r in enumerate(results):
+                    if r.point >= 0:
+                        dists[i, 0] = self._to_original(
+                            self.dataset.distance_to_query(Q[i], r.point)
+                        )
+                        evals[i] += 1
+            else:
+                dists[:, 0] = [self._to_original(r.distance) for r in results]
             hops = np.fromiter(
                 (len(r.hops) for r in results), dtype=np.int64, count=m
             )
             return SearchResult(ids, dists, evals, hops=hops, single=single)
 
+        # Stage 1: traversal.  Quantized (or an explicit rerank_factor
+        # > 1) over-fetches the pool; the beam width only grows when the
+        # fetch count would not fit it, so "equal beam width" comparisons
+        # across storages stay equal-width.
+        two_stage = quantized or rerank > 1
+        k_fetch = int(math.ceil(k * rerank)) if two_stage else k
         width = params.beam_width if params.beam_width is not None else max(2 * k, 16)
+        if two_stage:
+            # Only the over-fetched pool may widen the beam; a plain
+            # search honors an explicit beam_width < k exactly as the
+            # pre-storage pipeline did (it returns at most width hits).
+            width = max(width, k_fetch)
         if allowed is not None:
             # A pool wider than the admissible set can never fill, which
             # would disable the beam bound and degenerate to exhaustive
             # traversal; clamp so termination stays meaningful.
             width = max(min(width, int(allowed.sum())), 1)
+            k_fetch = min(k_fetch, width) if two_stage else k_fetch
         found = beam_search_batch(
             self.graph, self.dataset, starts, Q,
-            beam_width=width, k=k, budget=params.budget, allowed=allowed,
+            beam_width=width, k=k_fetch, budget=params.budget, allowed=allowed,
+            store=traversal_store,
         )
+        if not two_stage:
+            for i, (pairs, ev) in enumerate(found):
+                evals[i] = ev
+                take = min(len(pairs), k)
+                if take:
+                    ids[i, :take] = self.id_map.to_external(
+                        [v for v, _ in pairs[:take]]
+                    )
+                    dists[i, :take] = [self._to_original(d) for _, d in pairs[:take]]
+            return SearchResult(ids, dists, evals, hops=None, single=single)
+
+        # Stage 2: exact rerank of the survivors with the flat metric.
+        # A flat store's traversal distances are already exact, so only
+        # quantized stores re-evaluate (and charge) the candidate pool.
         for i, (pairs, ev) in enumerate(found):
+            if pairs:
+                cand = np.fromiter(
+                    (v for v, _ in pairs), dtype=np.intp, count=len(pairs)
+                )
+                if quantized:
+                    exact = self.dataset.distances_to_query(Q[i], cand)
+                    ev += len(cand)
+                else:
+                    exact = np.fromiter(
+                        (d for _, d in pairs), dtype=np.float64, count=len(pairs)
+                    )
+                order = np.lexsort((cand, exact))[:k]
+                take = len(order)
+                ids[i, :take] = self.id_map.to_external(cand[order])
+                dists[i, :take] = [self._to_original(d) for d in exact[order]]
             evals[i] = ev
-            take = min(len(pairs), k)
-            if take:
-                ids[i, :take] = self.id_map.to_external([v for v, _ in pairs[:take]])
-                dists[i, :take] = [self._to_original(d) for _, d in pairs[:take]]
         return SearchResult(ids, dists, evals, hops=None, single=single)
 
     # ------------------------------------------------------------------
@@ -384,6 +487,10 @@ class ProximityGraphIndex:
         self._tombstones = np.concatenate(
             [self._tombstones, np.zeros(count, dtype=bool)]
         )
+        # Keep the vector store in step: quantized stores encode the new
+        # rows through their *frozen* training state and count them as
+        # drift (surfaced in stats(); compact() retrains and resets it).
+        self.store = self.store.refresh(self.dataset, count)
         return self.id_map.assign(count, ids)
 
     def _dynamic_feasible(self) -> bool:
@@ -539,6 +646,27 @@ class ProximityGraphIndex:
         self.id_map = self.id_map.compact(keep)
         self._tombstones = np.zeros(len(keep), dtype=bool)
         self._dynamic = None
+        # Retrain the store over the survivors: post-build adds were
+        # encoded with stale training statistics (the drift counter);
+        # compaction is where that debt is repaid.
+        self.store = self.store.retrained(
+            self.dataset, self.seed if seed is None else seed
+        )
+        return self
+
+    def set_storage(
+        self, kind: str, seed: int | None = None, **options: Any
+    ) -> "ProximityGraphIndex":
+        """Re-encode the collection under a different vector storage.
+
+        Trains a fresh store of ``kind`` (``"flat"``/``"sq8"``/``"pq"``)
+        over the current points and installs it; the graph is untouched,
+        only traversal distances change.  Returns ``self`` for chaining.
+        """
+        self.store = make_store(
+            kind, self.dataset.metric, self.dataset.points,
+            seed=self.seed if seed is None else seed, **options,
+        )
         return self
 
     # ------------------------------------------------------------------
@@ -655,15 +783,17 @@ class ProximityGraphIndex:
     # ------------------------------------------------------------------
 
     def save(self, path: Any) -> Any:
-        """Serialize this index to one ``.npz`` file (format v2).
+        """Serialize this index to one ``.npz`` file (format v4).
 
         The file holds the graph's CSR arrays verbatim, the normalized
-        points, the external id map and tombstone mask, and a JSON
-        header with the builder provenance, scale, build options, and
-        metric spec — a loaded index answers :meth:`search` with
-        identical ids and distances.  Indexes over non-coordinate
-        metrics (counting wrappers, tree metrics, explicit matrices)
-        raise :class:`NotImplementedError` instead of pickling.
+        points, the external id map and tombstone mask, the vector
+        store's codes + training state (codebooks / scales, when
+        quantized), and a JSON header with the builder provenance,
+        scale, build options, metric spec, and storage spec — a loaded
+        index answers :meth:`search` with identical ids and distances.
+        Indexes over non-coordinate metrics (counting wrappers, tree
+        metrics, explicit matrices) raise :class:`NotImplementedError`
+        instead of pickling.
         """
         from repro.core.persistence import save_index
 
@@ -671,7 +801,7 @@ class ProximityGraphIndex:
 
     @classmethod
     def load(cls, path: Any) -> "ProximityGraphIndex":
-        """Load an index previously written by :meth:`save` (v1 or v2)."""
+        """Load an index previously written by :meth:`save` (v1–v4)."""
         from repro.core.persistence import load_index
 
         return load_index(path, cls)
@@ -693,6 +823,7 @@ class ProximityGraphIndex:
         out["log2_n"] = round(math.log2(max(out["n"], 2)), 2)
         out["active"] = self.active_count
         out["tombstones"] = self.tombstone_count
+        out["storage"] = self.store.summary()
         return out
 
     def validate(

@@ -17,14 +17,22 @@ can replay the construction after a reload).  v1 files — written before
 the index was mutable — still load: they get the identity id map, an
 empty tombstone mask, and default builder options.
 
-Format v3 (this build) is the **sharded directory** layout of a
+Format v3 is the **sharded directory** layout of a
 :class:`~repro.core.sharded.ShardedIndex`: a ``manifest.json`` naming
 the shard files plus routing state (assignment policy, seed, worker
-count, next fresh external id), next to one *v2 per-shard file* each —
+count, next fresh external id), next to one flat per-shard file each —
 so the shard format and the flat format share one code path, and older
 flat files keep loading through the same :func:`load_index`.  Use
 :func:`load_any` when the on-disk kind is not known in advance; it
 dispatches on the manifest and returns whichever index type was saved.
+
+Format v4 (this build) adds the **vector store**: the storage spec
+(kind, quantizer options, training stats including the drift counter)
+joins the JSON header, and the store's arrays — codes, PQ codebooks,
+SQ8 scales — are written as ``store_*`` members.  Flat-storage indexes
+carry only the spec (no extra arrays).  v1–v3 files still load (as
+flat storage); sharded directories keep the v3 manifest and simply
+hold v4 shard files inside.
 
 Only **coordinate metrics** (Euclidean, Chebyshev, Minkowski, optionally
 wrapped in the normalization :class:`~repro.metrics.base.ScaledMetric`)
@@ -70,9 +78,9 @@ __all__ = [
     "load_any",
 ]
 
-FORMAT_VERSION = 2
+FORMAT_VERSION = 4
 SHARDED_FORMAT_VERSION = 3
-SUPPORTED_VERSIONS = (1, 2)
+SUPPORTED_VERSIONS = (1, 2, 4)
 MANIFEST_NAME = "manifest.json"
 
 # Tag for GNetParameters entries in the serialized meta (the one
@@ -138,6 +146,7 @@ def save_index(index: "ProximityGraphIndex", path: str | Path) -> Path:
     offsets, targets = index.graph.csr()
     meta_kept, meta_dropped = _sanitize_meta(index.built.meta)
     options_kept, _options_dropped = _sanitize_meta(index.built.options)
+    store = index.store
     header = {
         "format_version": FORMAT_VERSION,
         "n": int(index.dataset.n),
@@ -150,6 +159,10 @@ def save_index(index: "ProximityGraphIndex", path: str | Path) -> Path:
         "meta": meta_kept,
         "meta_dropped": meta_dropped,
         "options": options_kept,
+        "storage": store.spec(),
+    }
+    store_arrays = {
+        f"store_{name}": arr for name, arr in store.arrays().items()
     }
     path = Path(path)
     np.savez_compressed(
@@ -162,12 +175,13 @@ def save_index(index: "ProximityGraphIndex", path: str | Path) -> Path:
         header=np.frombuffer(
             json.dumps(header).encode("utf-8"), dtype=np.uint8
         ),
+        **store_arrays,
     )
     return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
 
 
 def load_index(path: str | Path, cls: type | None = None) -> "ProximityGraphIndex":
-    """Load an index saved by :func:`save_index` (format v1 or v2).
+    """Load an index saved by :func:`save_index` (format v1, v2 or v4).
 
     The loaded index answers ``search`` with ids and distances identical
     to the saved one: the CSR arrays are adopted verbatim, the points
@@ -176,11 +190,15 @@ def load_index(path: str | Path, cls: type | None = None) -> "ProximityGraphInde
     The query rng is re-seeded from the saved build seed, so per-call
     random starts follow the same stream a freshly built index would
     use.  v1 files predate the mutable collection: they load with the
-    identity id map and no tombstones.
+    identity id map and no tombstones.  v1–v3-era files predate the
+    storage layer: they load as flat (exact) storage; v4 files restore
+    the saved store — codes, codebooks/scales, and training stats
+    (including the drift counter) — exactly.
     """
     if cls is None:
         from repro.core.index import ProximityGraphIndex as cls
     from repro.core.search import IdMap
+    from repro.storage import store_from_arrays
 
     path = Path(path)
     if path.is_dir():
@@ -210,8 +228,16 @@ def load_index(path: str | Path, cls: type | None = None) -> "ProximityGraphInde
         else:
             external_ids = np.arange(n, dtype=np.int64)
             tombstones = np.zeros(n, dtype=bool)
+        store_arrays = {
+            name[len("store_"):]: data[name]
+            for name in data.files
+            if name.startswith("store_")
+        }
     metric = metric_from_spec(header["metric"])
     dataset = Dataset(metric, points)
+    store = store_from_arrays(
+        header.get("storage") or {"kind": "flat"}, store_arrays, metric, points
+    )
     built = BuiltGraph(
         name=header["builder"],
         graph=graph,
@@ -229,6 +255,7 @@ def load_index(path: str | Path, cls: type | None = None) -> "ProximityGraphInde
         rng=np.random.default_rng(int(header["seed"])),
         id_map=IdMap(external_ids),
         tombstones=tombstones,
+        store=store,
     )
     index.seed = int(header["seed"])
     return index
@@ -247,9 +274,10 @@ def save_sharded_index(index: "ShardedIndex", path: str | Path) -> Path:
     """Write a :class:`ShardedIndex` as a manifest directory.
 
     ``path`` becomes a directory holding ``manifest.json`` plus one
-    format-v2 per-shard ``.npz`` (written by :func:`save_index`, so
+    flat-format per-shard ``.npz`` (written by :func:`save_index`, so
     everything a flat file preserves — CSR graph, points, id map,
-    tombstones, metric spec, builder options — is preserved per shard).
+    tombstones, metric spec, builder options, vector store — is
+    preserved per shard).
     The manifest records the fan-out state that lives *above* the
     shards: assignment policy, build seed, worker count, and the next
     fresh external id (so id stability survives delete-then-reload).

@@ -61,6 +61,16 @@ class SearchParams:
         only barred from the result set.  Unknown ids are ignored (a
         filter is a restriction, never an expansion).  Tombstoned points
         are always excluded, with or without a filter.
+    rerank_factor:
+        Over-fetch multiplier of the two-stage (compressed traversal →
+        exact rerank) pipeline: the traversal collects ``k *
+        rerank_factor`` candidates and a single exact-distance pass over
+        them returns the top ``k``.  ``None`` (default) resolves to the
+        index's storage default — 1 for flat storage (no second stage;
+        results bit-identical to the pre-storage pipeline), 2 for SQ8,
+        4 for PQ.  ``rerank_factor=1`` keeps the candidate set of the
+        plain traversal and only replaces its approximate distances
+        with exact ones.
     """
 
     mode: str = "auto"
@@ -69,6 +79,7 @@ class SearchParams:
     starts: Sequence[int] | None = None
     seed: int | None = None
     allowed_ids: Any = None
+    rerank_factor: int | None = None
 
     def __post_init__(self) -> None:
         if self.mode not in ("auto", "greedy", "beam"):
@@ -79,6 +90,8 @@ class SearchParams:
             raise ValueError("beam_width must be at least 1")
         if self.budget is not None and self.budget < 1:
             raise ValueError("budget must be at least 1")
+        if self.rerank_factor is not None and self.rerank_factor < 1:
+            raise ValueError("rerank_factor must be at least 1")
 
 
 @dataclass

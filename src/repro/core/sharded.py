@@ -71,6 +71,14 @@ from repro.metrics.arena import ArenaSpec, SharedArena, attach
 from repro.metrics.base import Dataset, MetricSpace
 from repro.metrics.euclidean import EuclideanMetric
 from repro.metrics.specs import metric_from_spec, metric_to_spec
+from repro.storage import (
+    encode_with_params,
+    store_from_arrays,
+    store_from_params,
+    train_store_params,
+    validate_storage_options,
+)
+from repro.storage.flat import FlatStore
 
 __all__ = [
     "ShardedIndex",
@@ -201,17 +209,35 @@ def _rebalance_min_size(
 # ----------------------------------------------------------------------
 
 
+class _AttachmentSet:
+    """Several arena attachments behind one ``close()`` — a rehydrated
+    shard may hold both a points view and a codes view."""
+
+    def __init__(self, parts):
+        self._parts = [p for p in parts if p is not None]
+
+    def close(self) -> None:
+        for part in self._parts:
+            part.close()
+
+
 def shard_payload(
     shard: ProximityGraphIndex,
     arena_spec: ArenaSpec | None = None,
     span: tuple[int, int] | None = None,
+    code_arena_spec: ArenaSpec | None = None,
+    code_span: tuple[int, int] | None = None,
 ) -> dict:
     """The picklable wire form of one shard for a search worker.
 
     CSR arrays and mutable-collection state travel by value (small);
     the points travel by *reference* — an arena spec plus row span —
     when the shard's dataset is still arena-backed, or inline otherwise
-    (after a mutation replaced the shard's point array).
+    (after a mutation replaced the shard's point array).  A quantized
+    shard additionally ships its storage: the spec and training arrays
+    (codebooks/scales — small) inline, and the code matrix either by
+    codes-arena reference (``code_arena_spec`` + ``code_span``) or
+    inline.
     """
     offsets, targets = shard.graph.csr()
     payload: dict[str, Any] = {
@@ -234,6 +260,20 @@ def shard_payload(
         payload["span"] = (int(span[0]), int(span[1]))
     else:
         payload["points"] = np.asarray(shard.dataset.points)
+    store = getattr(shard, "store", None)
+    if store is not None and store.is_quantized:
+        entry: dict[str, Any] = {
+            "spec": store.spec(),
+            "aux": store.param_arrays(),
+        }
+        if code_arena_spec is not None:
+            if code_span is None:
+                raise ValueError("an arena-backed code payload needs its span")
+            entry["codes_arena"] = code_arena_spec
+            entry["codes_span"] = (int(code_span[0]), int(code_span[1]))
+        else:
+            entry["codes"] = np.asarray(store.codes)
+        payload["storage"] = entry
     return payload
 
 
@@ -241,16 +281,16 @@ def rehydrate_shard(payload: dict):
     """Rebuild a queryable shard index from its wire form.
 
     Returns ``(index, attachment)`` where ``attachment`` is the arena
-    handle to close after use (``None`` for inline-points payloads).
-    Graph CSR arrays are adopted verbatim, so the rehydrated shard
-    answers ``search`` identically to the parent's.
+    handle (or handle set) to close after use (``None`` for fully
+    inline payloads).  Graph CSR arrays are adopted verbatim, so the
+    rehydrated shard answers ``search`` identically to the parent's.
     """
     metric = metric_from_spec(payload["metric"])
-    attachment = None
+    point_att = None
     if "arena" in payload:
-        attachment = attach(payload["arena"])
+        point_att = attach(payload["arena"])
         lo, hi = payload["span"]
-        points = attachment.view(lo, hi)
+        points = point_att.view(lo, hi)
     else:
         points = payload["points"]
     n = int(payload["n"])
@@ -266,6 +306,19 @@ def rehydrate_shard(payload: dict):
         epsilon=float(payload["epsilon"]),
         guaranteed=bool(payload["guaranteed"]),
     )
+    code_att = None
+    store = None
+    storage = payload.get("storage")
+    if storage is not None:
+        if "codes_arena" in storage:
+            code_att = attach(storage["codes_arena"])
+            lo, hi = storage["codes_span"]
+            codes = code_att.view(lo, hi)
+        else:
+            codes = storage["codes"]
+        store = store_from_arrays(
+            storage["spec"], {**storage["aux"], "codes": codes}, metric, points
+        )
     index = ProximityGraphIndex(
         dataset=Dataset(metric, points),
         built=built,
@@ -274,8 +327,11 @@ def rehydrate_shard(payload: dict):
         seed=int(payload["seed"]),
         id_map=IdMap(payload["external_ids"]),
         tombstones=payload["tombstones"],
+        store=store,
     )
-    return index, attachment
+    if point_att is None and code_att is None:
+        return index, None
+    return index, _AttachmentSet([point_att, code_att])
 
 
 def _shard_build_entry(task: dict) -> dict:
@@ -360,6 +416,10 @@ class ShardedIndex:
             self._arena_spans is None or len(self._arena_spans) != len(self.shards)
         ):
             raise ValueError("need one arena span per shard")
+        # Quantized storage: one codes arena shared by every fan-out
+        # worker (filled by set_storage when the points arena exists).
+        self._code_arena: SharedArena | None = None
+        self._code_spans: list[tuple[int, int]] | None = None
         # External id -> shard routing table, assembled from the shards'
         # own id maps (tombstoned ids stay routed until compacted away).
         self._owner: dict[int, int] = {}
@@ -395,6 +455,8 @@ class ShardedIndex:
         ids: Sequence[int] | None = None,
         batch_size: Any = "auto",
         search_chunk: int = DEFAULT_SEARCH_CHUNK,
+        storage: str = "flat",
+        storage_options: dict[str, Any] | None = None,
         **options: Any,
     ) -> "ShardedIndex":
         """Partition ``points`` into ``shards`` and build every shard.
@@ -411,10 +473,25 @@ class ShardedIndex:
 
         Shard ``j`` builds with seed ``seed + j``; external ids
         (``ids``, defaulting to ``0..n-1``) are global and stable.
+
+        ``storage`` selects the vector store (``"flat"``/``"sq8"``/
+        ``"pq"``).  Quantizer training runs **once** over the whole
+        collection — every shard shares the same codebooks / scales —
+        and with a pooled build the per-shard code matrices live in a
+        second :class:`~repro.metrics.arena.SharedArena`, so fan-out
+        search workers attach to the compressed shards zero-copy.
         """
         if metric is None:
             points = np.asarray(points, dtype=np.float64)
             metric = EuclideanMetric()
+        # Fail fast on a bad quantizer config — BEFORE the (potentially
+        # multi-process, minutes-long) graph build, mirroring the
+        # metric_to_spec fail-fast below.
+        arr = np.asarray(points)
+        validate_storage_options(
+            storage, storage_options,
+            dim=int(arr.shape[1]) if arr.ndim == 2 else None,
+        )
         n = len(points)
         rng = np.random.default_rng(seed)
         members = partition_points(points, shards, assignment, rng)
@@ -435,10 +512,13 @@ class ShardedIndex:
 
         if workers > 1:
             metric_to_spec(metric)  # fail fast: workers need a spec form
-            return cls._build_pooled(
+            index = cls._build_pooled(
                 points, epsilon, method, metric, normalize, members,
                 global_ids, workers, assignment, seed, options, search_chunk,
             )
+            if storage != "flat":
+                index.set_storage(storage, seed=seed, **(storage_options or {}))
+            return index
 
         shard_indexes = [
             ProximityGraphIndex.build(
@@ -453,10 +533,13 @@ class ShardedIndex:
             )
             for j, mem in enumerate(members)
         ]
-        return cls(
+        index = cls(
             shard_indexes, seed=seed, workers=workers, assignment=assignment,
             search_chunk=search_chunk,
         )
+        if storage != "flat":
+            index.set_storage(storage, seed=seed, **(storage_options or {}))
+        return index
 
     @classmethod
     def _build_pooled(
@@ -579,12 +662,16 @@ class ShardedIndex:
 
     def _payload_for(self, j: int) -> dict:
         """The shard's wire form — by arena reference while its dataset
-        is still arena-backed, inline after a mutation replaced it."""
+        (and, when quantized, its code block) is still arena-backed,
+        inline after a mutation replaced it."""
         arena_ok = self._arena is not None and self._shard_arena_backed(j)
+        codes_ok = self._shard_codes_arena_backed(j)
         return shard_payload(
             self.shards[j],
             arena_spec=self._arena.spec if arena_ok else None,
             span=self._arena_spans[j] if arena_ok else None,
+            code_arena_spec=self._code_arena.spec if codes_ok else None,
+            code_span=self._code_spans[j] if codes_ok else None,
         )
 
     def _shard_arena_backed(self, j: int) -> bool:
@@ -597,6 +684,93 @@ class ShardedIndex:
             pts.base is self._arena.array
             or pts.base is getattr(self._arena.array, "base", None)
         )
+
+    def _shard_codes_arena_backed(self, j: int) -> bool:
+        """Same test for the codes arena: a post-build add() re-encodes
+        the shard's codes into a fresh array, detaching it."""
+        if self._code_arena is None or self._code_spans is None:
+            return False
+        codes = self.shards[j].store.codes
+        if codes is None:
+            return False
+        return codes.base is not None and (
+            codes.base is self._code_arena.array
+            or codes.base is getattr(self._code_arena.array, "base", None)
+        )
+
+    # ------------------------------------------------------------------
+    # Storage: codebooks trained once, shared by every shard
+    # ------------------------------------------------------------------
+
+    def set_storage(
+        self, kind: str, seed: int | None = None, **options: Any
+    ) -> "ShardedIndex":
+        """Re-encode every shard under storage ``kind``, training once.
+
+        Quantizer training (PQ codebooks, SQ8 scales) runs over the
+        concatenated collection so all shards share one training state
+        — a fan-out search therefore measures every candidate against
+        the same geometry, and cross-shard merge order is consistent.
+        While the build's points arena is still live, the per-shard
+        code matrices are written into one shared codes arena so search
+        workers fan out over the compressed shards zero-copy.
+        """
+        seed = self.seed if seed is None else seed
+        pts0 = np.asarray(self.shards[0].dataset.points)
+        validate_storage_options(
+            kind, options, dim=int(pts0.shape[1]) if pts0.ndim == 2 else None
+        )
+        self._close_code_arena()
+        if kind == "flat":
+            for shard in self.shards:
+                shard.store = FlatStore(shard.dataset.metric, shard.dataset.points)
+            self._bump_generation()
+            return self
+        arena_ok = all(self._shard_arena_backed(j) for j in range(self.n_shards))
+        if arena_ok:
+            # Shard datasets are contiguous rows of the grouped points
+            # arena — train straight off it (no full-collection copy)
+            # and encode it once: the code blocks land at the very same
+            # spans.
+            params = train_store_params(
+                kind, self._arena.array, seed=seed, **options
+            )
+            codes_full = encode_with_params(kind, params, self._arena.array)
+            self._code_arena = SharedArena.create(codes_full)
+            self._code_spans = list(self._arena_spans)
+            code_views = [
+                self._code_arena.view(lo, hi) for lo, hi in self._code_spans
+            ]
+            total = len(self._arena.array)
+        else:
+            shard_pts = [
+                np.asarray(s.dataset.points, dtype=np.float64)
+                for s in self.shards
+            ]
+            params = train_store_params(
+                kind, np.concatenate(shard_pts), seed=seed, **options
+            )
+            code_views = [encode_with_params(kind, params, pts) for pts in shard_pts]
+            total = sum(len(pts) for pts in shard_pts)
+        for shard, codes in zip(self.shards, code_views):
+            shard.store = store_from_params(
+                kind, shard.dataset.metric, shard.dataset.points, params,
+                codes=codes, options=options, trained_on=total,
+            )
+        self._bump_generation()
+        return self
+
+    def _close_code_arena(self) -> None:
+        """Detach every still-arena-backed shard store (copying its code
+        block) before the codes arena unlinks."""
+        if self._code_arena is None:
+            return
+        for j, shard in enumerate(self.shards):
+            if self._shard_codes_arena_backed(j):
+                shard.store._codes = np.array(shard.store.codes, copy=True)
+        self._code_arena.close()
+        self._code_arena = None
+        self._code_spans = None
 
     def search(
         self,
@@ -643,6 +817,7 @@ class ShardedIndex:
                 and params.beam_width is None
                 and params.allowed_ids is None
                 and self.tombstone_count == 0
+                and not self.shards[0].store.is_quantized
             )
             params = dataclasses.replace(
                 params, mode="greedy" if use_greedy else "beam"
@@ -817,23 +992,49 @@ class ShardedIndex:
 
         External ids are preserved; a shard compacted below 2 survivors
         raises (like the flat index) with the shard named, leaving the
-        other shards untouched.
+        other shards untouched.  With quantized storage the quantizer
+        retrains **shared**, like the build: one training pass over the
+        surviving collection, the same codebooks/scales in every shard
+        — per-shard retraining would leave the fan-out measuring
+        candidates against diverging geometries.
         """
-        touched = False
-        for j, shard in enumerate(self.shards):
-            if not shard.tombstone_count:
-                continue
-            try:
-                shard.compact(seed=seed)
-            except ValueError as exc:
-                raise ValueError(f"shard {j}: {exc}") from exc
-            touched = True
-        if touched:
-            survivors = set()
+        store0 = self.shards[0].store
+        storage_kind, storage_options = store0.kind, dict(store0.options)
+        quantized = store0.is_quantized
+        if not any(s.tombstone_count for s in self.shards):
+            return self
+        if quantized:
+            # Drop to flat stores for the compaction itself, so the flat
+            # index's per-shard retrain is a cheap array rebind instead
+            # of K wasted local quantizer trainings; the shared training
+            # pass below is the only real one.
             for shard in self.shards:
-                survivors.update(np.asarray(shard.id_map.externals).tolist())
-            self._owner = {e: j for e, j in self._owner.items() if e in survivors}
-            self._bump_generation()
+                shard.store = FlatStore(
+                    shard.dataset.metric, shard.dataset.points
+                )
+        try:
+            for j, shard in enumerate(self.shards):
+                if not shard.tombstone_count:
+                    continue
+                try:
+                    shard.compact(seed=seed)
+                except ValueError as exc:
+                    raise ValueError(f"shard {j}: {exc}") from exc
+        finally:
+            if quantized:
+                # One shared training pass over the survivors (or, on a
+                # failed compact, over the untouched collection — the
+                # quantized state must be restored either way).
+                self.set_storage(
+                    storage_kind,
+                    seed=self.seed if seed is None else seed,
+                    **storage_options,
+                )
+        survivors = set()
+        for shard in self.shards:
+            survivors.update(np.asarray(shard.id_map.externals).tolist())
+        self._owner = {e: j for e, j in self._owner.items() if e in survivors}
+        self._bump_generation()
         return self
 
     # ------------------------------------------------------------------
@@ -866,6 +1067,10 @@ class ShardedIndex:
             "tombstones": self.tombstone_count,
             "per_shard": per_shard,
         }
+        storage = dict(self.shards[0].store.summary())
+        storage["n"] = int(self.n)
+        storage["drift"] = int(sum(s.store.drift for s in self.shards))
+        out["storage"] = storage
         return out
 
     def save(self, path: Any):
@@ -895,6 +1100,7 @@ class ShardedIndex:
             return
         self._closed = True
         self._discard_pool()
+        self._close_code_arena()
         if self._arena is not None:
             # Detach every shard dataset from the arena before the
             # backing block unlinks (copies only still-arena-backed
@@ -905,6 +1111,9 @@ class ShardedIndex:
                         shard.dataset.metric,
                         np.array(shard.dataset.points, copy=True),
                     )
+                    # A flat store references the same rows; rebind it
+                    # to the copied array before the block unlinks.
+                    shard.store = shard.store.refresh(shard.dataset, 0)
             self._arena.close()
             self._arena = None
         self._arena_spans = None

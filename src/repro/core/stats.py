@@ -37,6 +37,7 @@ __all__ = [
     "compute_ground_truth_k",
     "measure_queries",
     "recall_at_k",
+    "storage_breakdown",
     "timed",
 ]
 
@@ -165,6 +166,75 @@ def recall_at_k(
         for i in range(result.m)
     )
     return hits / (max(result.m, 1) * k)
+
+
+def storage_breakdown(index: Any) -> dict:
+    """Bytes-per-vector / total-memory breakdown of an index's storage.
+
+    Works for both front-door kinds (flat
+    :class:`~repro.core.index.ProximityGraphIndex` and
+    :class:`~repro.core.sharded.ShardedIndex` — shards aggregate) and is
+    what the ``repro index info`` CLI subcommand and ``bench-storage``
+    print.  Fields:
+
+    * ``traversal_bytes_per_vector`` / ``traversal_bytes`` — what graph
+      traversal touches per candidate (codes for quantized stores, the
+      raw rows for flat);
+    * ``aux_bytes`` — fixed quantizer state (codebooks, scales);
+    * ``exact_bytes`` — the raw vector array (kept by quantized indexes
+      for the exact rerank stage; *the* vector storage for flat);
+    * ``flat_bytes_per_vector`` — the raw cost per vector, so
+      ``compression = flat / traversal`` reads directly.
+    """
+    shards = getattr(index, "shards", None)
+    if shards is not None:
+        parts = [storage_breakdown(s) for s in shards]
+        total_n = sum(p["n"] for p in parts)
+        traversal = sum(p["traversal_bytes"] for p in parts)
+        out = {
+            "kind": parts[0]["kind"],
+            "quantized": parts[0]["quantized"],
+            "n": total_n,
+            "traversal_bytes_per_vector": (
+                round(traversal / total_n, 2) if total_n else 0.0
+            ),
+            "traversal_bytes": traversal,
+            # Training state (codebooks/scales) is trained once and
+            # shared across shards, so it counts once — matching
+            # ShardedIndex.stats()["storage"].
+            "aux_bytes": parts[0]["aux_bytes"],
+            "exact_bytes": sum(p["exact_bytes"] for p in parts),
+            "flat_bytes_per_vector": parts[0]["flat_bytes_per_vector"],
+            "drift": sum(p["drift"] for p in parts),
+        }
+    else:
+        store = index.store
+        pts = np.asarray(index.dataset.points)
+        flat_bytes = 0 if pts.dtype == object else int(pts.nbytes)
+        n = int(store.n)
+        bpv = float(store.traversal_bytes_per_vector())
+        out = {
+            "kind": store.kind,
+            "quantized": bool(store.is_quantized),
+            "n": n,
+            "traversal_bytes_per_vector": round(bpv, 2),
+            "traversal_bytes": int(round(bpv * n)),
+            "aux_bytes": int(store.aux_bytes()),
+            "exact_bytes": flat_bytes,
+            "flat_bytes_per_vector": (
+                round(flat_bytes / n, 2) if n else 0.0
+            ),
+            "drift": int(store.drift),
+        }
+    out["total_bytes"] = out["traversal_bytes"] + out["aux_bytes"] + (
+        out["exact_bytes"] if out["quantized"] else 0
+    )
+    out["compression"] = (
+        round(out["flat_bytes_per_vector"] / out["traversal_bytes_per_vector"], 2)
+        if out["traversal_bytes_per_vector"]
+        else 1.0
+    )
+    return out
 
 
 def measure_queries(

@@ -30,6 +30,7 @@ import numpy as np
 from repro.graphs.base import ProximityGraph
 from repro.graphs.greedy import GreedyResult
 from repro.metrics.base import Dataset
+from repro.storage.base import FlatQueryView
 
 __all__ = [
     "greedy_batch",
@@ -66,6 +67,22 @@ def _as_query_array(queries: Any) -> np.ndarray:
         return arr
 
 
+def _distance_view(dataset: Dataset, Q: np.ndarray, store: Any):
+    """The per-batch distance oracle this search traverses against.
+
+    ``store=None`` (the default everywhere) builds the exact
+    :class:`~repro.storage.base.FlatQueryView` over the dataset's metric
+    and points — the very calls the engines made before the storage
+    layer existed, so results stay bit-identical.  A quantized
+    :class:`~repro.storage.base.VectorStore` binds its approximate
+    per-batch state here instead (PQ computes its ADC lookup tables
+    once, in this call).
+    """
+    if store is None:
+        return FlatQueryView(dataset.metric, dataset.points, Q)
+    return store.bind(Q)
+
+
 def greedy_batch(
     graph: ProximityGraph,
     dataset: Dataset,
@@ -73,6 +90,7 @@ def greedy_batch(
     queries: Any,
     budget: int | None = None,
     allowed: np.ndarray | None = None,
+    store: Any = None,
 ) -> list[GreedyResult]:
     """Run ``greedy(starts[i], queries[i])`` for all ``i`` in lockstep.
 
@@ -89,6 +107,10 @@ def greedy_batch(
     an allowed vertex reports ``(-1, inf)``.  With ``allowed=None`` the
     masked bookkeeping is skipped entirely and results stay bit-identical
     to the scalar routine.
+
+    ``store`` selects the :class:`~repro.storage.base.VectorStore` to
+    traverse against (approximate distances over codes); ``None`` walks
+    the exact flat path.
     """
     m = len(queries)
     starts = np.asarray(starts, dtype=np.intp)
@@ -99,12 +121,13 @@ def greedy_batch(
         raise ValueError(f"start vertex {int(bad)} out of range")
     offsets, targets = graph.csr()
     Q = _as_query_array(queries)
+    view = _distance_view(dataset, Q, store)
 
     # The initial distance of each query is the same scalar evaluation
     # the sequential loop performs (one per query, once).
     p_cur = starts.copy()
     d_cur = np.array(
-        [dataset.distance_to_query(Q[i], int(starts[i])) for i in range(m)],
+        [view.scalar(i, int(starts[i])) for i in range(m)],
         dtype=np.float64,
     )
     evals = np.ones(m, dtype=np.int64)
@@ -176,7 +199,7 @@ def greedy_batch(
             + np.repeat(offsets[p_act], take)
         )
         cand = targets[flat]
-        dists = dataset.distances_to_queries(Q[active], cand, take)
+        dists = view.segmented(active, cand, take)
         evals[active] += take
 
         # 4b. Filter bookkeeping: fold this hop's *allowed* candidates
@@ -243,6 +266,7 @@ def beam_search_batch(
     k: int = 1,
     budget: int | None = None,
     allowed: np.ndarray | None = None,
+    store: Any = None,
 ) -> list[tuple[list[tuple[int, float]], int]]:
     """Lockstep best-first beam search over a query batch.
 
@@ -259,6 +283,11 @@ def beam_search_batch(
     query may return fewer than ``k`` pairs (even zero when nothing
     admissible was reached).  ``allowed=None`` takes the exact unmasked
     code path.
+
+    ``store`` selects the :class:`~repro.storage.base.VectorStore` to
+    traverse against (approximate distances over codes; the two-stage
+    search pipeline reranks the returned pool exactly); ``None`` walks
+    the exact flat path.
     """
     if beam_width < 1:
         raise ValueError("beam width must be at least 1")
@@ -272,11 +301,12 @@ def beam_search_batch(
             raise ValueError("allowed mask must cover every vertex")
     graph.freeze()
     Q = _as_query_array(queries)
+    view = _distance_view(dataset, Q, store)
 
     states = [
         _BeamState(
             int(starts[i]),
-            dataset.distance_to_query(Q[i], int(starts[i])),
+            view.scalar(i, int(starts[i])),
             admissible=allowed is None or bool(allowed[starts[i]]),
         )
         for i in range(m)
@@ -313,8 +343,8 @@ def beam_search_batch(
 
         if round_ids:
             lens = np.array([len(a) for a in round_nbrs], dtype=np.int64)
-            dists = dataset.distances_to_queries(
-                Q[np.array(round_ids, dtype=np.intp)],
+            dists = view.segmented(
+                np.array(round_ids, dtype=np.intp),
                 np.concatenate(round_nbrs),
                 lens,
             )
@@ -348,6 +378,7 @@ def construction_beam_batch(
     queries: Any,
     beam_width: int,
     expand_per_round: int = 4,
+    store: Any = None,
 ) -> list[tuple[np.ndarray, np.ndarray]]:
     """Fully vectorized lockstep beam search for *construction* waves.
 
@@ -392,13 +423,14 @@ def construction_beam_batch(
     n = graph.n
     ef = int(beam_width)
     Q = _as_query_array(queries)
+    view = _distance_view(dataset, Q, store)
 
     pool_ids = np.full((w, ef), -1, dtype=np.int64)
     pool_d = np.full((w, ef), np.inf, dtype=np.float64)
     pool_exp = np.zeros((w, ef), dtype=bool)  # slot already expanded?
     pool_ids[:, 0] = starts
-    pool_d[:, 0] = dataset.distances_to_queries(
-        Q, starts, np.ones(w, dtype=np.int64)
+    pool_d[:, 0] = view.segmented(
+        np.arange(w, dtype=np.intp), starts, np.ones(w, dtype=np.int64)
     )
     visited = np.zeros((w, n), dtype=bool)
     visited[np.arange(w), starts] = True
@@ -453,7 +485,7 @@ def construction_beam_batch(
 
         # One segmented distance call for the whole round.
         sub, lens = np.unique(qrow, return_counts=True)
-        d_new = dataset.distances_to_queries(Q[sub], cand, lens)
+        d_new = view.segmented(sub, cand, lens)
 
         # Merge new candidates into the pools: pad to (|sub|, max_new),
         # then one stable row-sort keeps each query's ef closest.

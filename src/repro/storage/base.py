@@ -1,0 +1,238 @@
+"""The ``VectorStore`` abstraction — how an index *holds* its vectors.
+
+Until this layer existed, every consumer of point data — the lockstep
+engines, the index facade, the sharded fan-out — scanned the raw
+float64 coordinate array through :class:`~repro.metrics.base.Dataset`.
+That couples traversal cost to full-precision storage: memory footprint,
+cache behavior, and distance throughput are all bounded by ``8 * d``
+bytes per vector.  A :class:`VectorStore` decouples them.  It sits
+*between* the metrics layer and the graph engines:
+
+    metrics  →  **storage**  →  engine  →  index / sharded
+
+A store answers one question: *given a query batch, what is the
+(possibly approximate) distance from query i to stored vector v?*  The
+engines consume that through a per-batch :class:`QueryDistanceView`,
+bound once per search batch via :meth:`VectorStore.bind` — which is
+where product quantization pays its asymmetric-distance (ADC) lookup
+tables *once per batch* instead of once per hop.
+
+Three stores ship:
+
+* :class:`~repro.storage.flat.FlatStore` — the raw array, distances
+  delegated verbatim to the metric.  Bit-identical to the
+  pre-storage-layer behavior by construction.
+* :class:`~repro.storage.sq8.SQ8Store` — per-dimension 8-bit scalar
+  quantization (``8x`` smaller than float64); candidates are dequantized
+  on the fly and fed to the *same* metric kernels, so every coordinate
+  metric works.
+* :class:`~repro.storage.pq.PQStore` — product quantization with
+  k-means codebooks and ADC tables; ``m`` bytes per vector.
+
+Approximate traversal pairs with an **exact rerank** stage in
+``index.search()`` (see ``SearchParams.rerank_factor``): the graph walk
+runs over codes, an over-fetched candidate pool survives to a single
+exact-distance pass, and reported distances are always exact.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any
+
+import numpy as np
+
+from repro.metrics.base import MetricSpace, ScaledMetric
+
+__all__ = [
+    "StorageError",
+    "StorageConfigError",
+    "QuantizerTrainingError",
+    "QueryDistanceView",
+    "FlatQueryView",
+    "VectorStore",
+    "decompose_metric",
+]
+
+
+class StorageError(Exception):
+    """Base class of every storage-layer error."""
+
+
+class StorageConfigError(StorageError, ValueError):
+    """A store was configured with parameters it cannot honor (wrong
+    point shape, indivisible subspace count, unsupported metric, ...)."""
+
+
+class QuantizerTrainingError(StorageError, ValueError):
+    """Training data cannot support the requested quantizer (e.g. fewer
+    points than centroids under ``strict=True``)."""
+
+
+def decompose_metric(metric: MetricSpace) -> tuple[MetricSpace, float]:
+    """Unwrap (possibly nested) :class:`ScaledMetric` layers.
+
+    Returns ``(inner, factor)`` such that ``metric.distance(a, b) ==
+    factor * inner.distance(a, b)``.  Quantized stores compute their
+    approximations against the inner metric's geometry and multiply the
+    normalization factor back at the end — exactly what the scaled
+    metric itself does.
+    """
+    factor = 1.0
+    while isinstance(metric, ScaledMetric):
+        factor *= metric.factor
+        metric = metric.inner
+    return metric, factor
+
+
+class QueryDistanceView:
+    """Per-batch distance oracle the lockstep engines traverse against.
+
+    Bound once per query batch by :meth:`VectorStore.bind`; holds
+    whatever per-batch state the store needs (nothing for flat/SQ8, the
+    ADC lookup tables for PQ).  Engines call exactly two methods:
+
+    * :meth:`scalar` — distance from query row ``qi`` to stored vector
+      ``v`` (start-vertex initialization);
+    * :meth:`segmented` — the segmented many-to-many primitive: distance
+      from query row ``q_rows[i]`` to each candidate of segment ``i``
+      (one call per lockstep hop).
+
+    Both report in the *metric's* units (normalization scale included),
+    so engine semantics — budgets, tie-breaks, pool bounds — are
+    storage-agnostic.
+    """
+
+    def scalar(self, qi: int, v: int) -> float:
+        raise NotImplementedError
+
+    def segmented(
+        self, q_rows: np.ndarray, cand: np.ndarray, lens: np.ndarray
+    ) -> np.ndarray:
+        raise NotImplementedError
+
+
+class FlatQueryView(QueryDistanceView):
+    """The exact view: delegate straight to the metric over raw points.
+
+    This is the default every engine builds when no store is passed, and
+    what :class:`~repro.storage.flat.FlatStore` binds — the calls are
+    the very ``Dataset.distance_to_query`` / ``distances_to_queries``
+    compositions the engines made before the storage layer existed, so
+    results are bit-identical.
+    """
+
+    __slots__ = ("metric", "points", "Q")
+
+    def __init__(self, metric: MetricSpace, points: Any, Q: Any):
+        self.metric = metric
+        self.points = points
+        self.Q = Q
+
+    def scalar(self, qi: int, v: int) -> float:
+        return self.metric.distance(self.Q[qi], self.points[v])
+
+    def segmented(
+        self, q_rows: np.ndarray, cand: np.ndarray, lens: np.ndarray
+    ) -> np.ndarray:
+        idx = np.asarray(cand, dtype=np.intp)
+        rows = np.asarray(q_rows, dtype=np.intp)
+        return self.metric.distances_many(self.Q[rows], self.points[idx], lens)
+
+
+class VectorStore(ABC):
+    """How an index holds (and measures distances over) its vectors.
+
+    Concrete stores are :class:`~repro.storage.flat.FlatStore`,
+    :class:`~repro.storage.sq8.SQ8Store`, and
+    :class:`~repro.storage.pq.PQStore`; build them through
+    :func:`repro.storage.make_store`.  The mutable-index facade keeps its
+    store in sync with the collection: ``add()`` routes new points
+    through :meth:`refresh` (encoding with the *frozen* training state
+    and bumping :attr:`drift`), ``compact()`` through :meth:`retrained`
+    (a fresh training pass over the survivors, drift reset to zero).
+    """
+
+    kind: str = "?"
+    is_quantized: bool = False
+    # How far search() over-fetches before the exact rerank when the
+    # caller leaves SearchParams.rerank_factor unset.
+    default_rerank_factor: int = 1
+
+    #: Vectors encoded with training statistics older than the data —
+    #: grows on every post-build add(), reset by a retrain (compact()).
+    drift: int = 0
+    #: The keyword options the store was trained with (replayed by
+    #: retrained() so compaction keeps the configured quantizer).
+    options: dict[str, Any]
+
+    # -- traversal ------------------------------------------------------
+
+    @abstractmethod
+    def bind(self, Q: Any) -> QueryDistanceView:
+        """Bind a query batch; per-batch work (PQ's ADC LUTs) runs here."""
+
+    # -- collection lifecycle ------------------------------------------
+
+    @abstractmethod
+    def refresh(self, dataset: Any, added: int) -> "VectorStore":
+        """Absorb ``added`` new trailing points of ``dataset`` (encoded
+        through the existing training state; quantized stores bump
+        :attr:`drift`).  Returns the store to install (may be ``self``)."""
+
+    @abstractmethod
+    def retrained(self, dataset: Any, seed: int) -> "VectorStore":
+        """A freshly trained store over ``dataset`` with the same
+        options — the compaction path.  Drift resets to zero."""
+
+    # -- accounting -----------------------------------------------------
+
+    @property
+    @abstractmethod
+    def n(self) -> int:
+        """Stored vector count."""
+
+    @abstractmethod
+    def traversal_bytes_per_vector(self) -> float:
+        """Resident bytes per vector touched by graph traversal."""
+
+    @abstractmethod
+    def aux_bytes(self) -> int:
+        """Fixed overhead (codebooks, per-dimension scales, ...)."""
+
+    # -- wire form ------------------------------------------------------
+
+    @property
+    def codes(self) -> np.ndarray | None:
+        """The per-vector code matrix (``None`` for exact stores)."""
+        return None
+
+    @abstractmethod
+    def spec(self) -> dict[str, Any]:
+        """JSON-safe description (kind, options, training stats)."""
+
+    def param_arrays(self) -> dict[str, np.ndarray]:
+        """Training-state arrays *excluding* codes (small; codebooks,
+        scales).  Ships inline in worker payloads while codes may
+        travel by shared-memory reference."""
+        return {}
+
+    def arrays(self) -> dict[str, np.ndarray]:
+        """Every array persistence must write (codes included)."""
+        out = dict(self.param_arrays())
+        if self.codes is not None:
+            out["codes"] = self.codes
+        return out
+
+    # ------------------------------------------------------------------
+
+    def summary(self) -> dict[str, Any]:
+        """JSON-safe stats()-style summary."""
+        return {
+            "kind": self.kind,
+            "quantized": self.is_quantized,
+            "n": int(self.n),
+            "bytes_per_vector": round(float(self.traversal_bytes_per_vector()), 2),
+            "aux_bytes": int(self.aux_bytes()),
+            "drift": int(self.drift),
+        }

@@ -1,0 +1,345 @@
+"""``PQStore`` — product quantization with ADC traversal.
+
+The vector space is split into ``m`` contiguous subspaces of ``d / m``
+dimensions each; a k-means codebook of up to 256 centroids is trained
+per subspace, and every vector is stored as its ``m`` nearest-centroid
+ids — **one byte per subspace**, the standard production compression for
+proximity-graph ANN (the regime the fast-convergent proximity-graph
+line in PAPERS.md optimizes for).
+
+Distances are *asymmetric* (ADC): the query stays full precision, and
+:meth:`PQStore.bind` precomputes one ``(m, ks)`` lookup table per query
+— the per-subspace distance contribution from the query's subvector to
+every centroid — **once per batch**.  Each traversal hop then reduces
+to a table gather plus a row reduction, independent of ``d``.
+
+Metric support follows the decomposition of the coordinate norms:
+
+* Euclidean — contributions are per-subspace *squared* distances,
+  combined by sum, finished by ``sqrt``;
+* Minkowski ``Lp`` — per-subspace ``|.|^p`` sums, combined by sum,
+  finished by ``** (1/p)``;
+* Chebyshev — per-subspace max-abs, combined by ``max``.
+
+All three are exact decompositions of the respective norm *given the
+centroid approximation*; a wrapping normalization
+:class:`~repro.metrics.base.ScaledMetric` multiplies through at the
+end.  Other metrics raise :class:`StorageConfigError`.
+
+Degenerate guards (tested): ``d % m != 0`` and ``ks > 256`` raise
+:class:`StorageConfigError`; training sets smaller than the requested
+centroid count *fall back* to ``ks = n`` (recorded in the spec as
+``ks_effective``) — or raise :class:`QuantizerTrainingError` under
+``strict=True`` — never divide by zero on an empty cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.metrics.base import MetricSpace
+from repro.metrics.euclidean import ChebyshevMetric, EuclideanMetric, MinkowskiMetric
+from repro.storage.base import (
+    QuantizerTrainingError,
+    QueryDistanceView,
+    StorageConfigError,
+    VectorStore,
+    decompose_metric,
+)
+from repro.storage.sq8 import _coords
+
+__all__ = ["PQParams", "PQStore", "train_pq", "encode_pq", "default_subspaces"]
+
+_KMEANS_ITERS = 12
+
+
+def default_subspaces(d: int) -> int:
+    """Largest ``m <= min(d, 8)`` dividing ``d`` — one byte per subspace
+    without padding."""
+    for m in range(min(d, 8), 0, -1):
+        if d % m == 0:
+            return m
+    return 1  # pragma: no cover - m=1 always divides
+
+
+@dataclass(frozen=True)
+class PQParams:
+    """Frozen training state: the per-subspace codebooks."""
+
+    codebooks: np.ndarray  # (m, ks, dsub) float64
+    ks_requested: int
+
+    @property
+    def m(self) -> int:
+        return int(self.codebooks.shape[0])
+
+    @property
+    def ks(self) -> int:
+        return int(self.codebooks.shape[1])
+
+    @property
+    def dsub(self) -> int:
+        return int(self.codebooks.shape[2])
+
+    @property
+    def dim(self) -> int:
+        return self.m * self.dsub
+
+    def nbytes(self) -> int:
+        return int(self.codebooks.nbytes)
+
+
+def _kmeans(data: np.ndarray, ks: int, rng: np.random.Generator) -> np.ndarray:
+    """Plain seeded Lloyd iterations; empty clusters keep their previous
+    centroid (they can re-acquire members next round)."""
+    n = len(data)
+    centroids = data[rng.choice(n, size=ks, replace=False)].copy()
+    for _ in range(_KMEANS_ITERS):
+        d2 = (
+            (data**2).sum(axis=1)[:, None]
+            - 2.0 * data @ centroids.T
+            + (centroids**2).sum(axis=1)[None, :]
+        )
+        labels = np.argmin(d2, axis=1)
+        sums = np.zeros_like(centroids)
+        np.add.at(sums, labels, data)
+        counts = np.bincount(labels, minlength=ks)
+        filled = counts > 0
+        new = centroids.copy()
+        new[filled] = sums[filled] / counts[filled, None]
+        if np.allclose(new, centroids):
+            centroids = new
+            break
+        centroids = new
+    return centroids
+
+
+def train_pq(
+    points: Any,
+    m: int | None = None,
+    ks: int = 256,
+    seed: int = 0,
+    strict: bool = False,
+) -> PQParams:
+    """Train per-subspace codebooks over ``points``.
+
+    ``m`` defaults to :func:`default_subspaces`; ``ks`` is the centroid
+    count per subspace (≤ 256 so codes fit a byte).  With fewer training
+    points than centroids the codebook falls back to ``ks = n`` (every
+    point its own centroid) unless ``strict=True``, which raises
+    :class:`QuantizerTrainingError` instead.
+    """
+    from repro.storage import validate_storage_options
+
+    x = _coords(points, "pq storage")
+    n, d = x.shape
+    if m is None:
+        m = default_subspaces(d)
+    m = int(m)
+    ks = int(ks)
+    validate_storage_options("pq", {"m": m, "ks": ks}, dim=d)
+    if n < ks:
+        if strict:
+            raise QuantizerTrainingError(
+                f"pq training needs at least ks={ks} points, got n={n} "
+                "(pass a smaller ks, or strict=False to fall back to ks=n)"
+            )
+        ks_eff = n
+    else:
+        ks_eff = ks
+    dsub = d // m
+    rng = np.random.default_rng(seed)
+    codebooks = np.empty((m, ks_eff, dsub), dtype=np.float64)
+    for j in range(m):
+        codebooks[j] = _kmeans(x[:, j * dsub : (j + 1) * dsub], ks_eff, rng)
+    return PQParams(codebooks=codebooks, ks_requested=ks)
+
+
+def encode_pq(params: PQParams, points: Any) -> np.ndarray:
+    """Nearest-centroid code per subspace, ``(n, m)`` uint8."""
+    x = _coords(points, "pq storage")
+    if x.shape[1] != params.dim:
+        raise StorageConfigError(
+            f"pq store trained on {params.dim}-d points, got {x.shape[1]}-d"
+        )
+    m, dsub = params.m, params.dsub
+    codes = np.empty((len(x), m), dtype=np.uint8)
+    for j in range(m):
+        sub = x[:, j * dsub : (j + 1) * dsub]
+        cb = params.codebooks[j]
+        d2 = (
+            (sub**2).sum(axis=1)[:, None]
+            - 2.0 * sub @ cb.T
+            + (cb**2).sum(axis=1)[None, :]
+        )
+        codes[:, j] = np.argmin(d2, axis=1).astype(np.uint8)
+    return codes
+
+
+def _adc_mode(metric: MetricSpace) -> tuple[str, float | None, float]:
+    """Resolve the LUT accumulation for a (possibly scaled) metric:
+    ``(combine, power, factor)`` with combine in {"sum", "max"}."""
+    inner, factor = decompose_metric(metric)
+    if isinstance(inner, EuclideanMetric):
+        return "sum", 2.0, factor
+    if isinstance(inner, MinkowskiMetric):
+        return "sum", float(inner.p), factor
+    if isinstance(inner, ChebyshevMetric):
+        return "max", None, factor
+    raise StorageConfigError(
+        "pq ADC supports Euclidean, Minkowski, and Chebyshev metrics "
+        f"(optionally ScaledMetric-wrapped); got {type(inner).__name__}"
+    )
+
+
+class _PQView(QueryDistanceView):
+    """Per-batch ADC state: one ``(m, ks)`` LUT per query."""
+
+    __slots__ = ("codes", "luts", "combine", "power", "factor", "_cols")
+
+    def __init__(self, metric: MetricSpace, params: PQParams, codes, Q):
+        combine, power, factor = _adc_mode(metric)
+        Q = np.asarray(Q, dtype=np.float64)
+        if Q.ndim == 1:
+            Q = Q[None, :]
+        if Q.shape[1] != params.dim:
+            raise StorageConfigError(
+                f"pq store trained on {params.dim}-d points, got "
+                f"{Q.shape[1]}-d queries"
+            )
+        m, ks, dsub = params.m, params.ks, params.dsub
+        luts = np.empty((len(Q), m, ks), dtype=np.float64)
+        for j in range(m):
+            diff = Q[:, None, j * dsub : (j + 1) * dsub] - params.codebooks[j][None]
+            if combine == "max":
+                luts[:, j, :] = np.abs(diff).max(axis=2)
+            elif power == 2.0:
+                luts[:, j, :] = np.einsum("qkd,qkd->qk", diff, diff)
+            else:
+                luts[:, j, :] = (np.abs(diff) ** power).sum(axis=2)
+        self.codes = codes
+        self.luts = luts
+        self.combine = combine
+        self.power = power
+        self.factor = factor
+        self._cols = np.arange(m, dtype=np.intp)
+
+    def _finalize(self, acc: np.ndarray) -> np.ndarray:
+        if self.combine == "sum":
+            if self.power == 2.0:
+                acc = np.sqrt(acc)
+            else:
+                acc = acc ** (1.0 / self.power)
+        return self.factor * acc
+
+    def scalar(self, qi: int, v: int) -> float:
+        contrib = self.luts[qi, self._cols, self.codes[v]]
+        acc = contrib.sum() if self.combine == "sum" else contrib.max()
+        return float(self._finalize(np.asarray(acc)))
+
+    def segmented(self, q_rows, cand, lens) -> np.ndarray:
+        rows = np.repeat(
+            np.asarray(q_rows, dtype=np.intp), np.asarray(lens, dtype=np.int64)
+        )
+        c = self.codes[np.asarray(cand, dtype=np.intp)]
+        contrib = self.luts[rows[:, None], self._cols[None, :], c]
+        acc = contrib.sum(axis=1) if self.combine == "sum" else contrib.max(axis=1)
+        return self._finalize(acc)
+
+
+class PQStore(VectorStore):
+    """Product-quantized vectors with per-batch ADC lookup tables."""
+
+    kind = "pq"
+    is_quantized = True
+    default_rerank_factor = 4
+
+    def __init__(
+        self,
+        metric: MetricSpace,
+        params: PQParams,
+        codes: np.ndarray,
+        options: dict[str, Any] | None = None,
+        drift: int = 0,
+        trained_on: int | None = None,
+    ):
+        _adc_mode(metric)  # fail fast on unsupported metrics
+        self.metric = metric
+        self.params = params
+        self._codes = codes
+        self.options = dict(options or {})
+        self.drift = int(drift)
+        self.trained_on = int(trained_on if trained_on is not None else len(codes))
+
+    @classmethod
+    def train(
+        cls, metric: MetricSpace, points: Any, seed: int = 0, **options: Any
+    ) -> "PQStore":
+        params = train_pq(points, seed=seed, **options)
+        return cls(metric, params, encode_pq(params, points), options=options)
+
+    # -- traversal ------------------------------------------------------
+
+    def bind(self, Q: Any) -> _PQView:
+        return _PQView(self.metric, self.params, self._codes, Q)
+
+    # -- collection lifecycle ------------------------------------------
+
+    def refresh(self, dataset: Any, added: int) -> "PQStore":
+        fresh = _coords(dataset.points, "pq storage")[len(self._codes) :]
+        if len(fresh) != added:
+            raise StorageConfigError(
+                f"store holds {len(self._codes)} codes but the dataset "
+                f"grew to {len(dataset.points)} points (expected +{added})"
+            )
+        self._codes = np.concatenate([self._codes, encode_pq(self.params, fresh)])
+        self.metric = dataset.metric
+        self.drift += added
+        return self
+
+    def retrained(self, dataset: Any, seed: int) -> "PQStore":
+        return PQStore.train(
+            dataset.metric, dataset.points, seed=seed, **self.options
+        )
+
+    # -- accounting -----------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        return len(self._codes)
+
+    def traversal_bytes_per_vector(self) -> float:
+        return float(self.params.m)
+
+    def aux_bytes(self) -> int:
+        return self.params.nbytes()
+
+    # -- wire form ------------------------------------------------------
+
+    @property
+    def codes(self) -> np.ndarray:
+        return self._codes
+
+    def param_arrays(self) -> dict[str, np.ndarray]:
+        return {"codebooks": self.params.codebooks}
+
+    def spec(self) -> dict[str, Any]:
+        return {
+            "kind": "pq",
+            "options": dict(self.options),
+            "trained_on": int(self.trained_on),
+            "drift": int(self.drift),
+            "m": self.params.m,
+            "ks": self.params.ks_requested,
+            "ks_effective": self.params.ks,
+            "dsub": self.params.dsub,
+        }
+
+    def summary(self) -> dict[str, Any]:
+        out = super().summary()
+        out["m"] = self.params.m
+        out["ks"] = self.params.ks
+        return out

@@ -1,0 +1,82 @@
+"""Deprecation sweep — pinned warnings for every surviving shim.
+
+One test per deprecated surface, so a future refactor can neither drop
+a shim silently (the import/call would fail here) nor let it start
+warning on every call (the once-per-process policy is pinned too):
+
+* the four PR-3 legacy query methods on ``ProximityGraphIndex``;
+* the PR-4 ``repro.baselines.vamana.robust_prune`` delegate (the
+  function moved to ``repro.graphs.engine`` with the shared wave-repair
+  plumbing).
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+import repro.baselines.vamana as vamana_module
+import repro.core.index as index_module
+from repro import ProximityGraphIndex
+from repro.graphs.engine import robust_prune as engine_robust_prune
+from repro.workloads import uniform_cube
+
+
+@pytest.fixture
+def index() -> ProximityGraphIndex:
+    pts = uniform_cube(60, 2, np.random.default_rng(3))
+    return ProximityGraphIndex.build(pts, epsilon=1.0, method="gnet", seed=3)
+
+
+@pytest.mark.parametrize(
+    "name, call",
+    [
+        ("query", lambda idx, q: idx.query(q)),
+        ("query_k", lambda idx, q: idx.query_k(q, k=2)),
+        ("query_batch", lambda idx, q: idx.query_batch([q, q])),
+        ("query_k_batch", lambda idx, q: idx.query_k_batch([q, q], k=2)),
+    ],
+)
+def test_legacy_query_shim_warns_exactly_once(index, monkeypatch, name, call):
+    monkeypatch.setattr(index_module, "_DEPRECATION_WARNED", set())
+    q = np.array([0.5, 0.5])
+    with warnings.catch_warnings(record=True) as first:
+        warnings.simplefilter("always")
+        call(index, q)
+    deprecations = [
+        w for w in first if issubclass(w.category, DeprecationWarning)
+    ]
+    assert len(deprecations) == 1
+    assert name in str(deprecations[0].message)
+    with warnings.catch_warnings(record=True) as second:
+        warnings.simplefilter("always")
+        call(index, q)
+    assert [w for w in second if issubclass(w.category, DeprecationWarning)] == []
+
+
+def test_vamana_robust_prune_delegate_warns_once_and_delegates(monkeypatch):
+    monkeypatch.setattr(vamana_module, "_DELEGATE_WARNED", False)
+    with warnings.catch_warnings(record=True) as first:
+        warnings.simplefilter("always")
+        fn = vamana_module.robust_prune
+    assert fn is engine_robust_prune
+    deprecations = [
+        w for w in first if issubclass(w.category, DeprecationWarning)
+    ]
+    assert len(deprecations) == 1
+    assert "repro.graphs.engine" in str(deprecations[0].message)
+    with warnings.catch_warnings(record=True) as second:
+        warnings.simplefilter("always")
+        assert vamana_module.robust_prune is engine_robust_prune
+    assert [w for w in second if issubclass(w.category, DeprecationWarning)] == []
+
+
+def test_vamana_module_still_exports_the_name():
+    assert "robust_prune" in vamana_module.__all__
+
+
+def test_unknown_vamana_attribute_raises():
+    with pytest.raises(AttributeError, match="no attribute 'nope'"):
+        vamana_module.nope

@@ -326,9 +326,10 @@ class TestMutationPersistence:
         with np.load(path) as data:
             payload = {k: data[k] for k in data.files}
         header = json.loads(bytes(payload["header"].tobytes()).decode())
-        assert header["format_version"] == FORMAT_VERSION == 2
+        assert header["format_version"] == FORMAT_VERSION == 4
         header["format_version"] = 1
         del header["options"]
+        del header["storage"]
         del payload["external_ids"], payload["tombstones"]
         payload["header"] = np.frombuffer(
             json.dumps(header).encode(), dtype=np.uint8

@@ -1,10 +1,13 @@
-"""The persistence migration chain: v1 -> v2 -> v3.
+"""The persistence migration chain: v1 -> v2 -> v4 (+ v3 directories).
 
-v1 (graph + points only) must still load; a loaded v1 index re-saves as
-v2 (id map + tombstones + options); any flat v2 index can be adopted as
-a shard of a v3 manifest directory; and search answers survive the
-whole chain bit-for-bit.  Partial or corrupt v3 directories must fail
-loudly with an error naming the problem — never load quietly.
+v1 (graph + points only) and v2 (id map + tombstones + options) flat
+files must still load — they predate the storage layer and come back
+with flat (exact) storage; a loaded v1/v2 index re-saves as v4 (which
+adds the vector-store spec, and codes/codebooks when quantized); any
+flat file can be adopted as a shard of a v3 manifest directory; and
+search answers survive the whole chain bit-for-bit.  Partial or
+corrupt v3 directories must fail loudly with an error naming the
+problem — never load quietly.
 """
 
 from __future__ import annotations
@@ -26,14 +29,15 @@ from repro.workloads import uniform_cube
 
 
 def _write_v1(idx: ProximityGraphIndex, path) -> None:
-    """Rewrite a freshly saved v2 file in the v1 layout (no id map, no
-    tombstones, no options) — the pre-mutable on-disk form."""
+    """Rewrite a freshly saved file in the v1 layout (no id map, no
+    tombstones, no options, no storage) — the pre-mutable on-disk form."""
     saved = idx.save(path)
     with np.load(saved) as data:
         payload = {k: data[k] for k in data.files}
     header = json.loads(bytes(payload["header"].tobytes()).decode())
     header["format_version"] = 1
     del header["options"]
+    del header["storage"]
     del payload["external_ids"], payload["tombstones"]
     payload["header"] = np.frombuffer(json.dumps(header).encode(), dtype=np.uint8)
     np.savez(saved, **payload)
@@ -57,15 +61,37 @@ def queries() -> np.ndarray:
 
 
 class TestMigrationChain:
-    def test_v1_resaves_as_v2(self, flat_index, queries, tmp_path):
+    def test_v1_resaves_as_current(self, flat_index, queries, tmp_path):
         _write_v1(flat_index, tmp_path / "old.npz")
         loaded_v1 = load_index(tmp_path / "old.npz")
+        assert loaded_v1.store.kind == "flat"  # pre-storage files are flat
         resaved = loaded_v1.save(tmp_path / "new.npz")
-        assert _header_version(resaved) == FORMAT_VERSION == 2
+        assert _header_version(resaved) == FORMAT_VERSION == 4
         loaded_v2 = load_index(resaved)
         p = SearchParams(seed=0)
         a = flat_index.search(queries, k=5, params=p)
         b = loaded_v2.search(queries, k=5, params=p)
+        assert np.array_equal(a.ids, b.ids)
+        assert np.array_equal(a.distances, b.distances)
+
+    def test_v2_still_loads_as_flat_storage(self, flat_index, queries, tmp_path):
+        """A v2-era file (id map + tombstones, but no storage layer)
+        loads with flat storage and identical answers."""
+        saved = flat_index.save(tmp_path / "v2.npz")
+        with np.load(saved) as data:
+            payload = {k: data[k] for k in data.files}
+        header = json.loads(bytes(payload["header"].tobytes()).decode())
+        header["format_version"] = 2
+        del header["storage"]
+        payload["header"] = np.frombuffer(
+            json.dumps(header).encode(), dtype=np.uint8
+        )
+        np.savez(saved, **payload)
+        loaded = load_index(saved)
+        assert loaded.store.kind == "flat"
+        p = SearchParams(seed=0)
+        a = flat_index.search(queries, k=5, params=p)
+        b = loaded.search(queries, k=5, params=p)
         assert np.array_equal(a.ids, b.ids)
         assert np.array_equal(a.distances, b.distances)
 

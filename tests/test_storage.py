@@ -1,0 +1,470 @@
+"""The storage layer: encoders, degenerate-data guards, views, and the
+v4 persistence of codes + codebooks + training stats."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ProximityGraphIndex, SearchParams, ShardedIndex
+from repro.metrics.base import ScaledMetric
+from repro.metrics.euclidean import ChebyshevMetric, EuclideanMetric, MinkowskiMetric
+from repro.storage import (
+    FlatStore,
+    PQStore,
+    QuantizerTrainingError,
+    StorageConfigError,
+    make_store,
+    store_from_arrays,
+    train_store_params,
+)
+from repro.storage.pq import default_subspaces, encode_pq, train_pq
+from repro.storage.sq8 import decode_sq8, encode_sq8, train_sq8
+from repro.workloads import uniform_cube
+
+
+@pytest.fixture(scope="module")
+def points() -> np.ndarray:
+    return np.random.default_rng(7).normal(size=(400, 8))
+
+
+# ----------------------------------------------------------------------
+# SQ8 encoder
+# ----------------------------------------------------------------------
+
+
+class TestSQ8Encoder:
+    def test_round_trip_error_is_bounded_by_step(self, points):
+        params = train_sq8(points)
+        decoded = decode_sq8(params, encode_sq8(params, points))
+        # Rounding to the nearest of 256 levels: error <= half a step.
+        assert np.all(np.abs(decoded - points) <= params.scale / 2 + 1e-12)
+
+    def test_constant_dimension_is_exact_not_nan(self):
+        """Satellite guard: a zero-range dimension must not divide by
+        zero — it round-trips exactly through a zero scale."""
+        pts = np.random.default_rng(0).normal(size=(50, 3))
+        pts[:, 1] = 4.25
+        params = train_sq8(pts)
+        assert params.constant_dims == 1
+        codes = encode_sq8(params, pts)
+        decoded = decode_sq8(params, codes)
+        assert np.all(np.isfinite(decoded))
+        assert np.array_equal(decoded[:, 1], np.full(50, 4.25))
+
+    def test_all_constant_points_reject_at_dataset_level(self):
+        # Duplicate points are rejected upstream (d_min = 0); the store
+        # itself still never divides by zero on a fully constant matrix.
+        pts = np.full((10, 2), 3.0)
+        codes = encode_sq8(train_sq8(pts), pts)
+        assert np.array_equal(codes, np.zeros((10, 2), dtype=np.uint8))
+
+    def test_out_of_range_later_points_clamp(self, points):
+        params = train_sq8(points)
+        wild = np.full((2, points.shape[1]), 1e9)
+        codes = encode_sq8(params, wild)
+        assert np.array_equal(codes, np.full_like(codes, 255))
+
+    def test_rejects_non_coordinate_points(self):
+        with pytest.raises(StorageConfigError, match=r"\(n, d\) coordinate"):
+            train_sq8(np.arange(10))
+
+    def test_rejects_options(self, points):
+        with pytest.raises(StorageConfigError, match="no options"):
+            make_store("sq8", EuclideanMetric(), points, bogus=1)
+
+
+# ----------------------------------------------------------------------
+# PQ encoder
+# ----------------------------------------------------------------------
+
+
+class TestPQEncoder:
+    def test_default_subspaces_divide_the_dimension(self):
+        assert default_subspaces(8) == 8
+        assert default_subspaces(12) == 6
+        assert default_subspaces(7) == 7
+        assert default_subspaces(26) == 2
+        assert default_subspaces(1) == 1
+
+    def test_indivisible_m_raises_named_error(self, points):
+        with pytest.raises(StorageConfigError, match="must divide"):
+            train_pq(points, m=3)
+
+    def test_ks_over_256_raises_named_error(self, points):
+        with pytest.raises(StorageConfigError, match="1..256"):
+            train_pq(points, ks=512)
+
+    def test_few_points_fall_back_to_ks_n(self):
+        """Satellite guard: n < ks must fall back (ks_effective = n),
+        never divide by zero on an empty cluster."""
+        pts = np.random.default_rng(1).normal(size=(40, 4))
+        params = train_pq(pts, ks=256)
+        assert params.ks == 40 and params.ks_requested == 256
+        codes = encode_pq(params, pts)
+        assert codes.max() < 40
+        # With every point its own candidate centroid the training data
+        # reconstructs near-exactly.
+        store = PQStore(EuclideanMetric(), params, codes)
+        view = store.bind(pts[:3])
+        d = view.segmented(np.array([0, 1, 2]), np.array([0, 1, 2]),
+                           np.array([1, 1, 1]))
+        assert np.all(d < 1e-6)
+
+    def test_few_points_strict_raises_named_error(self):
+        pts = np.random.default_rng(1).normal(size=(40, 4))
+        with pytest.raises(QuantizerTrainingError, match="at least ks=256"):
+            train_pq(pts, ks=256, strict=True)
+
+    def test_training_is_deterministic(self, points):
+        a = train_pq(points, seed=5)
+        b = train_pq(points, seed=5)
+        assert np.array_equal(a.codebooks, b.codebooks)
+
+    def test_unsupported_metric_raises_named_error(self, points):
+        from repro.metrics.base import ExplicitMatrixMetric
+
+        params = train_pq(points)
+        with pytest.raises(StorageConfigError, match="pq ADC supports"):
+            PQStore(
+                ExplicitMatrixMetric(np.zeros((2, 2))),
+                params,
+                encode_pq(params, points),
+            )
+
+
+# ----------------------------------------------------------------------
+# View correctness: approximate distances track the exact metric
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "metric",
+    [
+        EuclideanMetric(),
+        ChebyshevMetric(),
+        MinkowskiMetric(3.0),
+        ScaledMetric(EuclideanMetric(), 2.5),
+    ],
+    ids=["euclidean", "chebyshev", "minkowski3", "scaled-euclidean"],
+)
+@pytest.mark.parametrize("kind", ["sq8", "pq"])
+def test_store_views_approximate_the_metric(points, kind, metric):
+    store = make_store(kind, metric, points, seed=0)
+    rng = np.random.default_rng(3)
+    Q = rng.normal(size=(10, points.shape[1]))
+    idx = rng.integers(len(points), size=50)
+    lens = np.full(10, 5, dtype=np.int64)
+    approx = store.bind(Q).segmented(np.arange(10), idx, lens)
+    exact = metric.distances_many(Q, points[idx], lens)
+    # 8-bit-per-dim scalar error is tiny; PQ with ks=256 over 400 points
+    # is coarser but must still track the metric closely on this scale.
+    tol = 0.05 if kind == "sq8" else 0.8
+    assert np.all(np.abs(approx - exact) <= tol * (1.0 + exact))
+    # scalar() agrees with segmented()
+    assert store.bind(Q).scalar(0, int(idx[0])) == pytest.approx(approx[0])
+
+
+def test_flat_store_is_exact(points):
+    metric = EuclideanMetric()
+    store = FlatStore(metric, points)
+    Q = np.random.default_rng(4).normal(size=(4, points.shape[1]))
+    idx = np.arange(12)
+    lens = np.full(4, 3, dtype=np.int64)
+    got = store.bind(Q).segmented(np.arange(4), idx, lens)
+    want = metric.distances_many(Q, points[idx], lens)
+    assert np.array_equal(got, want)
+
+
+# ----------------------------------------------------------------------
+# Engine construction path over a store
+# ----------------------------------------------------------------------
+
+
+def test_construction_beam_batch_traverses_a_store(points):
+    """The construction engine's ``store`` hook: traversal over SQ8
+    codes equals traversal over the dequantized points (the store view
+    *is* the metric over decoded candidates), and a FlatStore equals
+    the default exact path bit for bit."""
+    from repro.graphs.engine import construction_beam_batch
+    from repro.metrics.base import Dataset
+
+    metric = EuclideanMetric()
+    dataset = Dataset(metric, points)
+    index = ProximityGraphIndex.build(
+        points, epsilon=1.0, method="vamana", seed=0, normalize=False
+    )
+    graph = index.graph
+    rng = np.random.default_rng(8)
+    Q = rng.normal(size=(6, points.shape[1]))
+    starts = rng.integers(len(points), size=6)
+
+    plain = construction_beam_batch(graph, dataset, starts, Q, beam_width=12)
+    via_flat = construction_beam_batch(
+        graph, dataset, starts, Q, beam_width=12,
+        store=FlatStore(metric, points),
+    )
+    for (ids_a, d_a), (ids_b, d_b) in zip(plain, via_flat):
+        assert np.array_equal(ids_a, ids_b) and np.array_equal(d_a, d_b)
+
+    store = make_store("sq8", metric, points)
+    decoded = decode_sq8(store.params, store.codes)
+    via_store = construction_beam_batch(
+        graph, dataset, starts, Q, beam_width=12, store=store
+    )
+    over_decoded = construction_beam_batch(
+        graph, Dataset(metric, decoded), starts, Q, beam_width=12
+    )
+    for (ids_a, d_a), (ids_b, d_b) in zip(via_store, over_decoded):
+        assert np.array_equal(ids_a, ids_b) and np.array_equal(d_a, d_b)
+
+
+# ----------------------------------------------------------------------
+# Store lifecycle through the index: add() drift, compact() retrain
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("kind", ["flat", "sq8", "pq"])
+def test_add_encodes_through_frozen_store_and_counts_drift(kind):
+    pts = uniform_cube(120, 3, np.random.default_rng(2))
+    idx = ProximityGraphIndex.build(
+        pts, epsilon=1.0, method="vamana", seed=1, storage=kind
+    )
+    before = idx.store.n
+    new = idx.add(np.random.default_rng(3).uniform(size=(7, 3)))
+    assert len(new) == 7
+    assert idx.store.n == before + 7
+    expected_drift = 0 if kind == "flat" else 7
+    assert idx.store.drift == expected_drift
+    assert idx.stats()["storage"]["drift"] == expected_drift
+    # searches see the new points
+    r = idx.search(np.asarray(idx.dataset.points)[-1], k=1,
+                   params=SearchParams(beam_width=32))
+    assert int(r.ids[0, 0]) == int(new[-1])
+
+
+@pytest.mark.parametrize("kind", ["sq8", "pq"])
+def test_compact_retrains_and_resets_drift(kind):
+    pts = uniform_cube(120, 3, np.random.default_rng(2))
+    idx = ProximityGraphIndex.build(
+        pts, epsilon=1.0, method="vamana", seed=1, storage=kind
+    )
+    idx.add(np.random.default_rng(3).uniform(size=(5, 3)))
+    idx.delete([0, 1])
+    assert idx.store.drift == 5
+    idx.compact()
+    assert idx.store.drift == 0
+    assert idx.store.n == 123
+    assert idx.store.trained_on == 123
+
+
+def test_set_storage_swaps_without_touching_the_graph():
+    pts = uniform_cube(100, 3, np.random.default_rng(5))
+    idx = ProximityGraphIndex.build(pts, epsilon=1.0, method="vamana", seed=1)
+    edges_before = idx.graph.num_edges
+    idx.set_storage("pq", m=3, ks=64)
+    assert idx.store.kind == "pq" and idx.store.params.m == 3
+    assert idx.graph.num_edges == edges_before
+    idx.set_storage("flat")
+    assert idx.store.kind == "flat"
+
+
+# ----------------------------------------------------------------------
+# Persistence v4: codes + codebooks + training stats round-trip
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("kind", ["flat", "sq8", "pq"])
+def test_v4_round_trip_preserves_store_and_answers(kind, tmp_path):
+    pts = uniform_cube(150, 3, np.random.default_rng(9))
+    idx = ProximityGraphIndex.build(
+        pts, epsilon=1.0, method="vamana", seed=2, storage=kind
+    )
+    idx.add(np.random.default_rng(1).uniform(size=(4, 3)))
+    queries = np.random.default_rng(4).uniform(size=(15, 3))
+    p = SearchParams(seed=0, beam_width=32)
+    want = idx.search(queries, k=5, params=p)
+    loaded = ProximityGraphIndex.load(idx.save(tmp_path / "idx.npz"))
+    assert loaded.store.kind == kind
+    assert loaded.store.drift == idx.store.drift
+    if kind != "flat":
+        assert np.array_equal(loaded.store.codes, idx.store.codes)
+        assert loaded.store.trained_on == idx.store.trained_on
+    got = loaded.search(queries, k=5, params=p)
+    assert np.array_equal(want.ids, got.ids)
+    assert np.array_equal(want.distances, got.distances)
+
+
+@pytest.mark.parametrize("kind", ["sq8", "pq"])
+def test_sharded_save_load_preserves_shared_storage(kind, tmp_path):
+    pts = uniform_cube(160, 3, np.random.default_rng(11))
+    sharded = ShardedIndex.build(
+        pts, epsilon=1.0, method="vamana", seed=3, shards=3, storage=kind
+    )
+    queries = np.random.default_rng(5).uniform(size=(12, 3))
+    p = SearchParams(seed=0, beam_width=32)
+    want = sharded.search(queries, k=5, params=p)
+    loaded = ShardedIndex.load(sharded.save(tmp_path / "idx"))
+    assert all(s.store.kind == kind for s in loaded.shards)
+    got = loaded.search(queries, k=5, params=p)
+    assert np.array_equal(want.ids, got.ids)
+    assert np.array_equal(want.distances, got.distances)
+    sharded.close()
+    loaded.close()
+
+
+def test_store_from_arrays_rejects_unknown_kind(points):
+    with pytest.raises(StorageConfigError, match="unknown storage"):
+        store_from_arrays({"kind": "zstd"}, {}, EuclideanMetric(), points)
+    with pytest.raises(StorageConfigError, match="unknown storage"):
+        make_store("zstd", EuclideanMetric(), points)
+    with pytest.raises(StorageConfigError, match="unknown storage"):
+        train_store_params("zstd", points)
+
+
+# ----------------------------------------------------------------------
+# Shared codebooks across shards
+# ----------------------------------------------------------------------
+
+
+def test_flat_rerank_overfetch_neither_recomputes_nor_recharges():
+    """With exact (flat) storage an explicit rerank_factor > 1 must not
+    re-evaluate the pool: the traversal distances are already exact, so
+    evals match the plain search and the top-k is unchanged."""
+    pts = uniform_cube(150, 3, np.random.default_rng(21))
+    idx = ProximityGraphIndex.build(pts, epsilon=1.0, method="vamana", seed=2)
+    queries = np.random.default_rng(22).uniform(size=(10, 3))
+    plain = idx.search(queries, k=5, params=SearchParams(beam_width=32, seed=0))
+    rerank = idx.search(
+        queries, k=5,
+        params=SearchParams(beam_width=32, seed=0, rerank_factor=2),
+    )
+    assert np.array_equal(plain.evals, rerank.evals)
+    assert np.array_equal(plain.ids, rerank.ids)
+    assert np.array_equal(plain.distances, rerank.distances)
+
+
+def test_sharded_compact_restores_shared_codebooks():
+    """Compaction must leave every shard on ONE training state, like the
+    build — per-shard retraining would diverge the fan-out geometry."""
+    pts = uniform_cube(200, 4, np.random.default_rng(23))
+    sharded = ShardedIndex.build(
+        pts, epsilon=1.0, method="vamana", seed=3, shards=2, storage="pq",
+        storage_options={"ks": 32},
+    )
+    try:
+        sharded.delete([int(sharded.shards[0].id_map.externals[0])])
+        sharded.compact()
+        a, b = (s.store.params.codebooks for s in sharded.shards)
+        assert np.array_equal(a, b)
+        assert len({s.store.trained_on for s in sharded.shards}) == 1
+        assert all(s.store.drift == 0 for s in sharded.shards)
+    finally:
+        sharded.close()
+
+
+def test_sharded_set_storage_flat_rejects_options():
+    pts = uniform_cube(100, 3, np.random.default_rng(24))
+    sharded = ShardedIndex.build(pts, epsilon=1.0, method="vamana", seed=1,
+                                 shards=2)
+    try:
+        with pytest.raises(StorageConfigError, match="no options"):
+            sharded.set_storage("flat", m=4)
+    finally:
+        sharded.close()
+
+
+def test_both_front_doors_reject_flat_storage_options():
+    """build(storage='flat', storage_options=...) must fail identically
+    for the flat and sharded kinds — never silently drop the options."""
+    pts = uniform_cube(100, 3, np.random.default_rng(25))
+    with pytest.raises(StorageConfigError, match="no options"):
+        ProximityGraphIndex.build(
+            pts, method="vamana", storage="flat", storage_options={"m": 4}
+        )
+    with pytest.raises(StorageConfigError, match="no options"):
+        ShardedIndex.build(
+            pts, method="vamana", shards=2, storage="flat",
+            storage_options={"m": 4},
+        )
+
+
+def test_sharded_build_fails_fast_on_bad_quantizer_config():
+    """A bad pq config must raise BEFORE the (expensive, possibly
+    multi-process) graph build runs, not after."""
+    pts = uniform_cube(100, 4, np.random.default_rng(26))
+    import repro.core.sharded as sharded_module
+
+    def boom(*a, **k):  # the build must never be reached
+        raise AssertionError("graph build ran before config validation")
+
+    orig = sharded_module.partition_points
+    sharded_module.partition_points = boom
+    try:
+        with pytest.raises(StorageConfigError, match="must divide"):
+            ShardedIndex.build(
+                pts, method="vamana", shards=2, storage="pq",
+                storage_options={"m": 3},
+            )
+        with pytest.raises(StorageConfigError, match="unknown pq options"):
+            ShardedIndex.build(
+                pts, method="vamana", shards=2, storage="pq",
+                storage_options={"centroids": 9},
+            )
+    finally:
+        sharded_module.partition_points = orig
+
+
+def test_flat_build_fails_fast_on_bad_quantizer_config():
+    """Same fail-fast contract for the flat front door."""
+    pts = uniform_cube(100, 4, np.random.default_rng(27))
+    import repro.core.index as index_module
+
+    orig = index_module.build
+
+    def boom(*a, **k):  # the graph build must never be reached
+        raise AssertionError("graph build ran before config validation")
+
+    index_module.build = boom
+    try:
+        with pytest.raises(StorageConfigError, match="must divide"):
+            ProximityGraphIndex.build(
+                pts, method="vamana", storage="pq", storage_options={"m": 3}
+            )
+    finally:
+        index_module.build = orig
+
+
+def test_sharded_quantized_fanout_workers_match_in_process():
+    """The pooled fan-out (codes shipped by shared-memory arena or
+    inline, ADC rebuilt in each worker) answers exactly like the
+    in-process fan-out over the same shards."""
+    pts = uniform_cube(240, 4, np.random.default_rng(17))
+    queries = np.random.default_rng(18).uniform(size=(9, 4))
+    p = SearchParams(beam_width=32, seed=0)
+    pooled = ShardedIndex.build(
+        pts, epsilon=1.0, method="vamana", seed=3, shards=2, workers=2,
+        storage="pq", storage_options={"ks": 32},
+    )
+    try:
+        want = pooled.search(queries, k=5, params=p)
+        pooled.workers = 1
+        got = pooled.search(queries, k=5, params=p)
+        assert np.array_equal(want.ids, got.ids)
+        assert np.array_equal(want.distances, got.distances)
+    finally:
+        pooled.close()
+
+
+def test_sharded_build_trains_codebooks_once():
+    pts = uniform_cube(200, 4, np.random.default_rng(13))
+    sharded = ShardedIndex.build(
+        pts, epsilon=1.0, method="vamana", seed=3, shards=4, storage="pq",
+        storage_options={"ks": 64},
+    )
+    books = [s.store.params.codebooks for s in sharded.shards]
+    for other in books[1:]:
+        assert books[0] is other or np.array_equal(books[0], other)
+    # trained over the whole collection, not the shard
+    assert all(s.store.trained_on == 200 for s in sharded.shards)
+    sharded.close()
