@@ -1,0 +1,193 @@
+"""E10 — compiled traversal kernels vs the pinned numpy batch engine.
+
+The accel backends (:mod:`repro.accel`) run the whole beam/greedy
+traversal per batch in compiled code — CSR gather, array heaps,
+generation-stamped visited sets, inline distances — and are required to
+be *bit-identical* to the numpy engines: same ids, same distances, same
+evaluation counts, on every workload they accept.  So this bench gates
+two claims at once:
+
+* **speedup** — the headline 20k-point Euclidean workload (vamana,
+  ``k=10``, equal beam width) must clear 3x single-thread QPS over the
+  numpy engine on whichever compiled backend is available (numba when
+  installed, else the cffi C backend; the gate is skipped when neither
+  can compile here);
+* **equivalence** — recall@10 is computed from both result sets and
+  asserted *equal* (not merely close), and a 3-seed sweep asserts
+  bit-identity of ids/distances/evals across beam and greedy.
+
+``results/bench_accel.json`` records the run.  JIT/C compile time is
+reported separately (``jit_compile_seconds``) and one untimed warm-up
+batch runs per backend before its clock starts.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import RESULTS_DIR, write_table
+from repro import accel
+from repro.core.index import ProximityGraphIndex
+from repro.core.search import SearchParams
+from repro.core.stats import compute_ground_truth_k
+from repro.metrics.base import Dataset
+from repro.metrics.euclidean import EuclideanMetric
+from repro.workloads import uniform_cube, uniform_queries
+
+N = 20_000
+M = 1_000
+K = 10
+BEAM = 32
+EPS = 1.0
+SPEEDUP_FLOOR = 3.0
+
+
+def _best_compiled() -> str | None:
+    for name in ("numba", "cffi"):
+        if name in accel.available_backends():
+            return name
+    return None
+
+
+def _timed_search(index, queries, params) -> tuple:
+    """(result, qps) with one untimed warm-up batch before the clock."""
+    warm = min(len(queries), 64)
+    index.search(queries[:warm], k=K, params=params)
+    t0 = time.perf_counter()
+    result = index.search(queries, k=K, params=params)
+    return result, len(queries) / (time.perf_counter() - t0)
+
+
+def _recall(result, gt) -> float:
+    hits = sum(
+        len(set(result.ids[i].tolist()) & set(gt[i].tolist()))
+        for i in range(result.m)
+    )
+    return hits / (result.m * K)
+
+
+def test_accel_speedup_20k(bench_rng):
+    """Headline gate: >= 3x QPS at bit-identical results on 20k points."""
+    compiled = _best_compiled()
+    points = uniform_cube(N, 2, np.random.default_rng(7))
+    queries = uniform_queries(M, points, bench_rng)
+    gt, _ = compute_ground_truth_k(
+        Dataset(EuclideanMetric(), points), queries, k=K
+    )
+    index = ProximityGraphIndex.build(
+        points, epsilon=EPS, method="vamana", seed=42
+    )
+
+    base = SearchParams(mode="beam", beam_width=BEAM, seed=0, backend="numpy")
+    numpy_res, numpy_qps = _timed_search(index, queries, base)
+    record = {
+        "n": N,
+        "queries": M,
+        "k": K,
+        "beam_width": BEAM,
+        "method": "vamana",
+        "numpy_qps": round(numpy_qps, 1),
+        "recall_at_10": round(_recall(numpy_res, gt), 4),
+        "compiled_backend": compiled,
+    }
+
+    rows = [["numpy", round(numpy_qps, 0), 1.0,
+             record["recall_at_10"], "-", 0.0]]
+    if compiled is not None:
+        compile_s = accel.warm(compiled)["compile_seconds"]
+        params = SearchParams(
+            mode="beam", beam_width=BEAM, seed=0, backend=compiled
+        )
+        res, qps = _timed_search(index, queries, params)
+        identical = (
+            np.array_equal(res.ids, numpy_res.ids)
+            and np.array_equal(res.distances, numpy_res.distances)
+            and np.array_equal(res.evals, numpy_res.evals)
+        )
+        speedup = qps / numpy_qps
+        record.update(
+            {
+                "compiled_qps": round(qps, 1),
+                "speedup": round(speedup, 2),
+                "jit_compile_seconds": round(compile_s, 3),
+                "bit_identical": identical,
+                "compiled_recall_at_10": round(_recall(res, gt), 4),
+            }
+        )
+        rows.append([compiled, round(qps, 0), round(speedup, 2),
+                     record["compiled_recall_at_10"], identical,
+                     round(compile_s, 3)])
+
+    write_table(
+        "bench_accel",
+        f"E10: compiled traversal kernels (n={N}, k={K}, beam={BEAM})",
+        ["backend", "qps", "speedup", "recall@10", "bit-identical",
+         "compile s"],
+        rows,
+        notes=(
+            "acceptance: the compiled backend must clear "
+            f"{SPEEDUP_FLOOR}x single-thread QPS over the numpy engine at "
+            "equal beam width, with bit-identical results (ids, distances, "
+            "eval counts) — recall@10 is therefore *equal*, not merely "
+            "close.  JIT/C compile time is excluded from the QPS window."
+        ),
+    )
+    _write_json("euclidean_20k", record)
+
+    if compiled is None:
+        pytest.skip("no compiled accel backend available here")
+    assert record["bit_identical"], f"{compiled} diverged from numpy"
+    assert record["compiled_recall_at_10"] == record["recall_at_10"]
+    assert record["speedup"] >= SPEEDUP_FLOOR, (
+        f"only {record['speedup']:.2f}x on the 20k workload"
+    )
+
+
+def test_accel_bit_identity_3seed(bench_rng):
+    """3-seed equivalence sweep: every warmable backend vs numpy, beam
+    and greedy, on a clustered 2k workload."""
+    backends = [b for b in ("numba", "cffi", "python")
+                if b in accel.available_backends()]
+    if not backends:
+        pytest.skip("no accel backend available here")
+    points = uniform_cube(2_000, 3, np.random.default_rng(3))
+    index = ProximityGraphIndex.build(
+        points, epsilon=EPS, method="vamana", seed=42
+    )
+    queries = uniform_queries(200, points, bench_rng)
+    seeds_green = []
+    for seed in (0, 1, 2):
+        for mode, k in (("beam", K), ("greedy", 1)):
+            ref = index.search(
+                queries, k=k,
+                params=SearchParams(mode=mode, seed=seed, backend="numpy"),
+            )
+            for b in backends:
+                got = index.search(
+                    queries, k=k,
+                    params=SearchParams(mode=mode, seed=seed, backend=b),
+                )
+                assert np.array_equal(got.ids, ref.ids), (b, mode, seed)
+                assert np.array_equal(got.distances, ref.distances), (
+                    b, mode, seed,
+                )
+                assert np.array_equal(got.evals, ref.evals), (b, mode, seed)
+        seeds_green.append(seed)
+    _write_json(
+        "bit_identity_3seed",
+        {"backends": backends, "seeds": seeds_green, "modes": ["beam", "greedy"],
+         "n": 2_000, "queries": 200, "identical": True},
+    )
+
+
+def _write_json(key: str, record) -> None:
+    """Merge one record into results/bench_accel.json."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "bench_accel.json"
+    data = json.loads(path.read_text()) if path.exists() else {}
+    data[key] = record
+    path.write_text(json.dumps(data, indent=2) + "\n")

@@ -23,6 +23,7 @@ import time
 import numpy as np
 
 from benchmarks.conftest import RESULTS_DIR, write_table
+from repro import accel
 from repro.core import build, compute_ground_truth, measure_queries
 from repro.graphs import greedy, greedy_batch
 from repro.workloads import gaussian_clusters, make_dataset, uniform_cube, uniform_queries
@@ -30,10 +31,21 @@ from repro.workloads import gaussian_clusters, make_dataset, uniform_cube, unifo
 EPS = 1.0
 
 
-def _throughput(graph, dataset, queries, starts) -> dict:
-    """Time both engines on the same (queries, starts) and check equality."""
+def _throughput(graph, dataset, queries, starts, backend: str = "numpy") -> dict:
+    """Time both engines on the same (queries, starts) and check equality.
+
+    Non-numpy backends are warmed first (JIT/C compile time reported as
+    ``jit_compile_seconds``, never inside the QPS window) and one small
+    untimed warm-up batch runs before the clock starts so first-call
+    costs — allocator, caches, lazy imports — don't pollute the numbers.
+    """
+    compile_s = 0.0
+    if backend != "numpy":
+        compile_s = accel.warm(backend)["compile_seconds"]
+    warm_m = min(len(queries), 64)
+    greedy_batch(graph, dataset, starts[:warm_m], queries[:warm_m], backend=backend)
     t0 = time.perf_counter()
-    batch = greedy_batch(graph, dataset, starts, queries)
+    batch = greedy_batch(graph, dataset, starts, queries, backend=backend)
     batch_s = time.perf_counter() - t0
     t0 = time.perf_counter()
     scalar = [
@@ -49,6 +61,9 @@ def _throughput(graph, dataset, queries, starts) -> dict:
     )
     return {
         "queries": len(queries),
+        "backend": backend,
+        "jit_compile_seconds": round(compile_s, 3),
+        "warmup_batch": warm_m,
         "scalar_qps": len(queries) / scalar_s,
         "batch_qps": len(queries) / batch_s,
         "speedup": scalar_s / batch_s,

@@ -1,0 +1,83 @@
+"""``repro.accel`` — opt-in compiled traversal kernels.
+
+The lockstep engines of :mod:`repro.graphs.engine` removed the
+per-query Python overhead of scalar search, but their per-round inner
+loop is still interpreted: per-query ``heapq`` pools, per-neighbor
+``float()``/``int()`` conversions, and one Python-level heap update per
+evaluated candidate.  This package runs the *entire* traversal of a
+query batch inside compiled code instead:
+
+* CSR neighbor gather straight from ``graph.csr()`` arrays,
+* fixed-capacity array heaps for the candidate queue and result pool,
+* a generation-stamped visited array (allocated once per batch),
+* inline Euclidean / SQ8 / PQ-ADC distance evaluation against the
+  contiguous point / code arrays,
+* ``allowed``-mask and ``budget`` semantics replicated operation for
+  operation from the numpy engines.
+
+Three backends share one kernel semantics (see
+:mod:`repro.accel.kernels` for the pinned reference source):
+
+``numba``
+    The kernels compiled by :func:`numba.njit` with ``cache=True``
+    (install via ``pip install repro-proximity-graphs[accel]``).
+``cffi``
+    The same kernels as C, compiled on demand with the system C
+    compiler under strict IEEE semantics (``-ffp-contract=off``) and
+    cached on disk.  Available wherever ``cffi`` and a C compiler are.
+``python``
+    The kernel source executed by the plain interpreter — slow, but
+    exactly the arithmetic the compiled backends must reproduce; the
+    equivalence suites pin compiled backends against it bit for bit.
+
+Backend selection is runtime and graceful.  A backend only serves
+searches after it has been **warmed** (compiled and self-checked) by
+:func:`warm`; until then every search runs the pinned numpy engines, so
+importing this package changes nothing.  ``SearchParams(backend=...)``
+threads the choice through ``index.search()``, the sharded fan-out
+(the resolved backend name travels in the pickled worker task and is
+compiled once per worker process), and ``measure_queries``:
+
+* ``"auto"`` (the default) — the best *warmed* compiled backend, else
+  the numpy engines (see :func:`get_backend`);
+* ``"numpy"`` — always the pinned engines;
+* ``"numba"`` / ``"cffi"`` / ``"python"`` — that backend, warmed on
+  demand; raises :class:`AccelUnavailableError` with a clear message
+  when the backend cannot run here (e.g. numba not installed).
+
+Reported distances are bit-identical to the numpy engines by
+construction: kernels drive the traversal with their own deterministic
+float64 arithmetic, and the dispatch layer re-evaluates every reported
+candidate through the same per-batch distance view the numpy path
+uses.
+"""
+
+from repro.accel.dispatch import (
+    AccelError,
+    AccelFallbackWarning,
+    AccelUnavailableError,
+    UnsupportedWorkloadError,
+    available_backends,
+    backend_status,
+    get_backend,
+    reset,
+    resolve_backend,
+    run_beam,
+    run_greedy,
+    warm,
+)
+
+__all__ = [
+    "AccelError",
+    "AccelFallbackWarning",
+    "AccelUnavailableError",
+    "UnsupportedWorkloadError",
+    "available_backends",
+    "backend_status",
+    "get_backend",
+    "reset",
+    "resolve_backend",
+    "run_beam",
+    "run_greedy",
+    "warm",
+]

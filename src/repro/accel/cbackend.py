@@ -1,0 +1,620 @@
+"""The ``cffi`` backend: the traversal kernels as C, compiled on demand.
+
+This backend exists so environments without numba (but with a C
+toolchain) still get compiled traversal: the C below is a line-for-line
+transcription of :mod:`repro.accel.kernels` — same heap comparators,
+same slice-order iteration, same budget checkpoints, same sequential
+float64 accumulation, and the same replica of numpy's pairwise
+summation for PQ-ADC rows.
+
+Floating-point contract: the shared object is built with
+``-ffp-contract=off`` and without any fast-math flag, so the compiler
+neither fuses multiply-adds nor reassociates reductions — the C
+arithmetic is the IEEE-754 sequence the kernel source spells out,
+matching the interpreted kernels (and numba's default strict mode)
+bit for bit.  The warm-time self-check in
+:mod:`repro.accel.dispatch` enforces this before the backend serves
+any search.
+
+Build artifacts are content-addressed (source hash + compiler) and
+cached under ``$REPRO_ACCEL_CACHE`` (default: a per-user directory in
+the system temp dir), so each environment compiles once — a few
+hundred milliseconds — and every later process ``dlopen``\\ s the cached
+shared object.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import subprocess
+import tempfile
+import threading
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["beam_kernel", "greedy_kernel", "cache_dir", "ensure_compiled"]
+
+_CDEF = """
+int64_t repro_beam(
+    const int64_t *offsets, const int64_t *targets,
+    int32_t kind, double factor, double power,
+    const double *Q, int64_t qdim,
+    const double *data, int64_t ddim,
+    const uint8_t *codes, int64_t cdim,
+    const double *minv, const double *scale,
+    const double *luts, int64_t msub, int64_t ks,
+    const int64_t *starts, const double *d0, int64_t nq,
+    int64_t beam_width, int64_t k_fetch, int64_t budget,
+    const uint8_t *allowed, int32_t has_allowed,
+    int64_t *out_ids, double *out_dists, int64_t *out_evals,
+    int32_t *visited, double *cand_d, int64_t *cand_v,
+    double *pool_d, int64_t *pool_v, double *contrib);
+
+int64_t repro_greedy(
+    const int64_t *offsets, const int64_t *targets,
+    int32_t kind, double factor, double power,
+    const double *Q, int64_t qdim,
+    const double *data, int64_t ddim,
+    const uint8_t *codes, int64_t cdim,
+    const double *minv, const double *scale,
+    const double *luts, int64_t msub, int64_t ks,
+    const int64_t *starts, const double *d0, int64_t nq,
+    int64_t budget,
+    const uint8_t *allowed, int32_t has_allowed,
+    int64_t *out_p, double *out_d, int64_t *out_evals,
+    int64_t *out_hops, int64_t *out_term,
+    int64_t *out_best_p, double *out_best_d,
+    int64_t *hops_buf, int64_t hops_cap, double *contrib);
+"""
+
+_SOURCE = r"""
+#include <stdint.h>
+#include <math.h>
+
+/* numpy's pairwise summation for a contiguous float64 run (n <= 128):
+ * sequential below 8 elements, else an 8-accumulator unrolled pass
+ * combined as ((r0+r1) + (r2+r3)) + ((r4+r5) + (r6+r7)). */
+static double pairwise_sum(const double *a, int64_t n)
+{
+    if (n < 8) {
+        double res = 0.0;
+        for (int64_t i = 0; i < n; i++)
+            res += a[i];
+        return res;
+    }
+    double r0 = a[0], r1 = a[1], r2 = a[2], r3 = a[3];
+    double r4 = a[4], r5 = a[5], r6 = a[6], r7 = a[7];
+    int64_t i = 8;
+    for (; i + 8 <= n; i += 8) {
+        r0 += a[i];
+        r1 += a[i + 1];
+        r2 += a[i + 2];
+        r3 += a[i + 3];
+        r4 += a[i + 4];
+        r5 += a[i + 5];
+        r6 += a[i + 6];
+        r7 += a[i + 7];
+    }
+    double res = ((r0 + r1) + (r2 + r3)) + ((r4 + r5) + (r6 + r7));
+    for (; i < n; i++)
+        res += a[i];
+    return res;
+}
+
+#define KIND_FLAT_L2 0
+#define KIND_FLAT_LINF 1
+#define KIND_SQ8_L2 2
+#define KIND_SQ8_LINF 3
+#define KIND_PQ_SUM2 4
+#define KIND_PQ_SUMP 5
+#define KIND_PQ_MAX 6
+
+static double dist_eval(
+    int32_t kind, double factor, double power,
+    const double *Q, int64_t qdim, int64_t qi,
+    const double *data, int64_t ddim,
+    const uint8_t *codes, int64_t cdim,
+    const double *minv, const double *scale,
+    const double *luts, int64_t msub, int64_t ks,
+    double *contrib, int64_t v)
+{
+    if (kind == KIND_FLAT_L2) {
+        const double *q = Q + qi * qdim;
+        const double *x = data + v * ddim;
+        double acc = 0.0;
+        for (int64_t j = 0; j < ddim; j++) {
+            double t = q[j] - x[j];
+            acc += t * t;
+        }
+        return factor * sqrt(acc);
+    }
+    if (kind == KIND_FLAT_LINF) {
+        const double *q = Q + qi * qdim;
+        const double *x = data + v * ddim;
+        double acc = 0.0;
+        for (int64_t j = 0; j < ddim; j++) {
+            double t = fabs(q[j] - x[j]);
+            if (t > acc)
+                acc = t;
+        }
+        return factor * acc;
+    }
+    if (kind == KIND_SQ8_L2) {
+        const double *q = Q + qi * qdim;
+        const uint8_t *c = codes + v * cdim;
+        double acc = 0.0;
+        for (int64_t j = 0; j < cdim; j++) {
+            double t = q[j] - ((double)c[j] * scale[j] + minv[j]);
+            acc += t * t;
+        }
+        return factor * sqrt(acc);
+    }
+    if (kind == KIND_SQ8_LINF) {
+        const double *q = Q + qi * qdim;
+        const uint8_t *c = codes + v * cdim;
+        double acc = 0.0;
+        for (int64_t j = 0; j < cdim; j++) {
+            double t = fabs(q[j] - ((double)c[j] * scale[j] + minv[j]));
+            if (t > acc)
+                acc = t;
+        }
+        return factor * acc;
+    }
+    /* PQ-ADC: per-subspace LUT gather, then numpy's own reduction. */
+    {
+        const uint8_t *c = codes + v * cdim;
+        const double *lut = luts + qi * msub * ks;
+        if (kind == KIND_PQ_MAX) {
+            double acc = 0.0;
+            for (int64_t j = 0; j < msub; j++) {
+                double t = lut[j * ks + c[j]];
+                if (j == 0 || t > acc)
+                    acc = t;
+            }
+            return factor * acc;
+        }
+        for (int64_t j = 0; j < msub; j++)
+            contrib[j] = lut[j * ks + c[j]];
+        double acc = pairwise_sum(contrib, msub);
+        if (kind == KIND_PQ_SUM2)
+            return factor * sqrt(acc);
+        return factor * pow(acc, 1.0 / power);
+    }
+}
+
+/* Candidate min-heap on the key (d, v) and pool max-heap whose root is
+ * the worst entry under the key (-d, v) — heapq's tuple orders in the
+ * numpy engine's _BeamState, so pop/evict sequences match exactly. */
+
+static int64_t cand_push(double *cd, int64_t *cv, int64_t size, double d, int64_t v)
+{
+    int64_t i = size;
+    cd[i] = d;
+    cv[i] = v;
+    while (i > 0) {
+        int64_t p = (i - 1) >> 1;
+        if (cd[i] < cd[p] || (cd[i] == cd[p] && cv[i] < cv[p])) {
+            double td = cd[i]; cd[i] = cd[p]; cd[p] = td;
+            int64_t tv = cv[i]; cv[i] = cv[p]; cv[p] = tv;
+            i = p;
+        } else
+            break;
+    }
+    return size + 1;
+}
+
+static int64_t cand_pop(double *cd, int64_t *cv, int64_t size)
+{
+    size -= 1;
+    cd[0] = cd[size];
+    cv[0] = cv[size];
+    int64_t i = 0;
+    for (;;) {
+        int64_t left = 2 * i + 1;
+        if (left >= size)
+            break;
+        int64_t small = left;
+        int64_t right = left + 1;
+        if (right < size &&
+            (cd[right] < cd[left] || (cd[right] == cd[left] && cv[right] < cv[left])))
+            small = right;
+        if (cd[small] < cd[i] || (cd[small] == cd[i] && cv[small] < cv[i])) {
+            double td = cd[i]; cd[i] = cd[small]; cd[small] = td;
+            int64_t tv = cv[i]; cv[i] = cv[small]; cv[small] = tv;
+            i = small;
+        } else
+            break;
+    }
+    return size;
+}
+
+static int pool_worse(double d1, int64_t v1, double d2, int64_t v2)
+{
+    if (d1 > d2)
+        return 1;
+    if (d1 == d2 && v1 < v2)
+        return 1;
+    return 0;
+}
+
+static int64_t pool_push(double *pd, int64_t *pv, int64_t size, double d, int64_t v)
+{
+    int64_t i = size;
+    pd[i] = d;
+    pv[i] = v;
+    while (i > 0) {
+        int64_t p = (i - 1) >> 1;
+        if (pool_worse(pd[i], pv[i], pd[p], pv[p])) {
+            double td = pd[i]; pd[i] = pd[p]; pd[p] = td;
+            int64_t tv = pv[i]; pv[i] = pv[p]; pv[p] = tv;
+            i = p;
+        } else
+            break;
+    }
+    return size + 1;
+}
+
+static int64_t pool_pop(double *pd, int64_t *pv, int64_t size)
+{
+    size -= 1;
+    pd[0] = pd[size];
+    pv[0] = pv[size];
+    int64_t i = 0;
+    for (;;) {
+        int64_t left = 2 * i + 1;
+        if (left >= size)
+            break;
+        int64_t worst = left;
+        int64_t right = left + 1;
+        if (right < size && pool_worse(pd[right], pv[right], pd[left], pv[left]))
+            worst = right;
+        if (pool_worse(pd[worst], pv[worst], pd[i], pv[i])) {
+            double td = pd[i]; pd[i] = pd[worst]; pd[worst] = td;
+            int64_t tv = pv[i]; pv[i] = pv[worst]; pv[worst] = tv;
+            i = worst;
+        } else
+            break;
+    }
+    return size;
+}
+
+int64_t repro_beam(
+    const int64_t *offsets, const int64_t *targets,
+    int32_t kind, double factor, double power,
+    const double *Q, int64_t qdim,
+    const double *data, int64_t ddim,
+    const uint8_t *codes, int64_t cdim,
+    const double *minv, const double *scale,
+    const double *luts, int64_t msub, int64_t ks,
+    const int64_t *starts, const double *d0, int64_t nq,
+    int64_t beam_width, int64_t k_fetch, int64_t budget,
+    const uint8_t *allowed, int32_t has_allowed,
+    int64_t *out_ids, double *out_dists, int64_t *out_evals,
+    int32_t *visited, double *cand_d, int64_t *cand_v,
+    double *pool_d, int64_t *pool_v, double *contrib)
+{
+    for (int64_t qi = 0; qi < nq; qi++) {
+        int32_t gen = (int32_t)(qi + 1);
+        int64_t s = starts[qi];
+        int64_t csize = cand_push(cand_d, cand_v, 0, d0[qi], s);
+        int64_t psize = 0;
+        if (has_allowed == 0 || allowed[s] != 0)
+            psize = pool_push(pool_d, pool_v, 0, d0[qi], s);
+        visited[s] = gen;
+        int64_t evals = 1;
+        while (csize > 0) {
+            double dcur = cand_d[0];
+            int64_t u = cand_v[0];
+            csize = cand_pop(cand_d, cand_v, csize);
+            if (psize >= beam_width && dcur > pool_d[0])
+                break;
+            int64_t beg = offsets[u];
+            int64_t end = offsets[u + 1];
+            int64_t cnt = 0;
+            for (int64_t ei = beg; ei < end; ei++) {
+                if (visited[targets[ei]] != gen)
+                    cnt++;
+            }
+            if (cnt == 0)
+                continue;
+            if (budget >= 0 && evals >= budget)
+                break;
+            int64_t take = cnt;
+            if (budget >= 0 && evals + cnt > budget)
+                take = budget - evals;
+            int64_t processed = 0;
+            for (int64_t ei = beg; ei < end; ei++) {
+                if (processed >= take)
+                    break;
+                int64_t v = targets[ei];
+                if (visited[v] == gen)
+                    continue;
+                processed++;
+                visited[v] = gen;
+                double dv = dist_eval(kind, factor, power, Q, qdim, qi,
+                                      data, ddim, codes, cdim, minv, scale,
+                                      luts, msub, ks, contrib, v);
+                evals++;
+                if (psize < beam_width || dv < pool_d[0]) {
+                    csize = cand_push(cand_d, cand_v, csize, dv, v);
+                    if (has_allowed == 0 || allowed[v] != 0) {
+                        psize = pool_push(pool_d, pool_v, psize, dv, v);
+                        if (psize > beam_width)
+                            psize = pool_pop(pool_d, pool_v, psize);
+                    }
+                }
+            }
+        }
+        /* Insertion-sort the pool ascending by (d, v) — the numpy
+         * path's sorted((-d, v)) report order. */
+        for (int64_t a = 1; a < psize; a++) {
+            double dd = pool_d[a];
+            int64_t vv = pool_v[a];
+            int64_t b = a - 1;
+            while (b >= 0 && (pool_d[b] > dd || (pool_d[b] == dd && pool_v[b] > vv))) {
+                pool_d[b + 1] = pool_d[b];
+                pool_v[b + 1] = pool_v[b];
+                b--;
+            }
+            pool_d[b + 1] = dd;
+            pool_v[b + 1] = vv;
+        }
+        int64_t n_out = psize < k_fetch ? psize : k_fetch;
+        for (int64_t a = 0; a < n_out; a++) {
+            out_ids[qi * k_fetch + a] = pool_v[a];
+            out_dists[qi * k_fetch + a] = pool_d[a];
+        }
+        out_evals[qi] = evals;
+    }
+    return 0;
+}
+
+int64_t repro_greedy(
+    const int64_t *offsets, const int64_t *targets,
+    int32_t kind, double factor, double power,
+    const double *Q, int64_t qdim,
+    const double *data, int64_t ddim,
+    const uint8_t *codes, int64_t cdim,
+    const double *minv, const double *scale,
+    const double *luts, int64_t msub, int64_t ks,
+    const int64_t *starts, const double *d0, int64_t nq,
+    int64_t budget,
+    const uint8_t *allowed, int32_t has_allowed,
+    int64_t *out_p, double *out_d, int64_t *out_evals,
+    int64_t *out_hops, int64_t *out_term,
+    int64_t *out_best_p, double *out_best_d,
+    int64_t *hops_buf, int64_t hops_cap, double *contrib)
+{
+    int64_t maxnh = 0;
+    for (int64_t qi = 0; qi < nq; qi++) {
+        int64_t p = starts[qi];
+        double dcur = d0[qi];
+        int64_t evals = 1;
+        int64_t nh = 1;
+        if (hops_cap > 0)
+            hops_buf[qi * hops_cap] = p;
+        int64_t bp = -1;
+        double bd = INFINITY;
+        if (has_allowed != 0 && allowed[p] != 0) {
+            bp = p;
+            bd = dcur;
+        }
+        int64_t term = 0;
+        for (;;) {
+            if (budget >= 0 && evals >= budget) {
+                term = 0;
+                break;
+            }
+            int64_t beg = offsets[p];
+            int64_t end = offsets[p + 1];
+            int64_t deg = end - beg;
+            if (deg == 0) {
+                term = 1;
+                break;
+            }
+            int64_t take = deg;
+            int64_t truncated = 0;
+            if (budget >= 0 && evals + deg > budget) {
+                take = budget - evals;
+                truncated = 1;
+            }
+            double bestd = INFINITY;
+            int64_t bestv = -1;
+            double hop_ad = INFINITY;
+            int64_t hop_av = -1;
+            for (int64_t i = 0; i < take; i++) {
+                int64_t v = targets[beg + i];
+                double dv = dist_eval(kind, factor, power, Q, qdim, qi,
+                                      data, ddim, codes, cdim, minv, scale,
+                                      luts, msub, ks, contrib, v);
+                if (has_allowed != 0 && allowed[v] != 0 && dv < hop_ad) {
+                    hop_ad = dv;
+                    hop_av = v;
+                }
+                if (dv < bestd) {
+                    bestd = dv;
+                    bestv = v;
+                }
+            }
+            evals += take;
+            if (hop_av >= 0 && hop_ad < bd) {
+                bd = hop_ad;
+                bp = hop_av;
+            }
+            if (bestd < dcur) {
+                p = bestv;
+                dcur = bestd;
+                if (nh < hops_cap)
+                    hops_buf[qi * hops_cap + nh] = p;
+                nh++;
+            } else {
+                term = truncated == 1 ? 0 : 1;
+                break;
+            }
+        }
+        out_p[qi] = p;
+        out_d[qi] = dcur;
+        out_evals[qi] = evals;
+        out_hops[qi] = nh;
+        out_term[qi] = term;
+        out_best_p[qi] = bp;
+        out_best_d[qi] = bd;
+        if (nh > maxnh)
+            maxnh = nh;
+    }
+    return maxnh;
+}
+"""
+
+# Strict IEEE: no fused multiply-add contraction, no reassociation.
+_CFLAGS = ["-O2", "-fPIC", "-shared", "-ffp-contract=off", "-fno-unsafe-math-optimizations"]
+
+_lock = threading.Lock()
+_lib = None
+_ffi = None
+
+
+def cache_dir() -> Path:
+    """Where compiled shared objects live (``$REPRO_ACCEL_CACHE``
+    overrides; default is a per-user directory under the temp dir)."""
+    env = os.environ.get("REPRO_ACCEL_CACHE")
+    if env:
+        return Path(env)
+    uid = os.getuid() if hasattr(os, "getuid") else 0
+    return Path(tempfile.gettempdir()) / f"repro-accel-cache-{uid}"
+
+
+def _find_compiler() -> str | None:
+    import shutil
+
+    for cc in ("cc", "gcc", "clang"):
+        path = shutil.which(cc)
+        if path:
+            return path
+    return None
+
+
+def ensure_compiled() -> Path:
+    """Compile (or reuse) the shared object; returns its path."""
+    from repro.accel.dispatch import AccelUnavailableError
+
+    cc = _find_compiler()
+    if cc is None:
+        raise AccelUnavailableError(
+            "no C compiler (cc/gcc/clang) found for the cffi accel backend"
+        )
+    key = hashlib.sha256(
+        (_SOURCE + "\0" + " ".join(_CFLAGS) + "\0" + cc).encode()
+    ).hexdigest()[:16]
+    cdir = cache_dir()
+    cdir.mkdir(parents=True, exist_ok=True)
+    so_path = cdir / f"repro_accel_{key}.so"
+    if so_path.exists():
+        return so_path
+    c_path = cdir / f"repro_accel_{key}.c"
+    c_path.write_text(_SOURCE)
+    tmp_so = cdir / f".repro_accel_{key}.{os.getpid()}.so"
+    proc = subprocess.run(
+        [cc, *_CFLAGS, "-o", str(tmp_so), str(c_path), "-lm"],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    if proc.returncode != 0:
+        raise AccelUnavailableError(
+            f"C compilation of the cffi accel backend failed:\n{proc.stderr}"
+        )
+    os.replace(tmp_so, so_path)  # atomic under concurrent builders
+    return so_path
+
+
+def _load():
+    global _lib, _ffi
+    if _lib is not None:
+        return _lib, _ffi
+    with _lock:
+        if _lib is not None:
+            return _lib, _ffi
+        from cffi import FFI
+
+        ffi = FFI()
+        ffi.cdef(_CDEF)
+        lib = ffi.dlopen(str(ensure_compiled()))
+        _ffi, _lib = ffi, lib
+    return _lib, _ffi
+
+
+def _f64(ffi, arr: np.ndarray):
+    return ffi.cast("const double *", arr.ctypes.data)
+
+
+def _i64(ffi, arr: np.ndarray):
+    return ffi.cast("const int64_t *", arr.ctypes.data)
+
+
+def _u8(ffi, arr: np.ndarray):
+    return ffi.cast("const uint8_t *", arr.ctypes.data)
+
+
+def beam_kernel(
+    offsets, targets, kind, factor, power, Q, data, codes, minv, scale, luts,
+    starts, d0, beam_width, k_fetch, budget, allowed, has_allowed,
+    out_ids, out_dists, out_evals, visited, cand_d, cand_v, pool_d, pool_v, contrib,
+):
+    """Same signature/semantics as :func:`repro.accel.kernels.beam_kernel`."""
+    lib, ffi = _load()
+    return lib.repro_beam(
+        _i64(ffi, offsets), _i64(ffi, targets),
+        int(kind), float(factor), float(power),
+        _f64(ffi, Q), Q.shape[1] if Q.ndim == 2 else 0,
+        _f64(ffi, data), data.shape[1],
+        _u8(ffi, codes), codes.shape[1],
+        _f64(ffi, minv), _f64(ffi, scale),
+        _f64(ffi, luts), luts.shape[1], luts.shape[2],
+        _i64(ffi, starts), _f64(ffi, d0), starts.shape[0],
+        int(beam_width), int(k_fetch), int(budget),
+        _u8(ffi, allowed), int(has_allowed),
+        ffi.cast("int64_t *", out_ids.ctypes.data),
+        ffi.cast("double *", out_dists.ctypes.data),
+        ffi.cast("int64_t *", out_evals.ctypes.data),
+        ffi.cast("int32_t *", visited.ctypes.data),
+        ffi.cast("double *", cand_d.ctypes.data),
+        ffi.cast("int64_t *", cand_v.ctypes.data),
+        ffi.cast("double *", pool_d.ctypes.data),
+        ffi.cast("int64_t *", pool_v.ctypes.data),
+        ffi.cast("double *", contrib.ctypes.data),
+    )
+
+
+def greedy_kernel(
+    offsets, targets, kind, factor, power, Q, data, codes, minv, scale, luts,
+    starts, d0, budget, allowed, has_allowed,
+    out_p, out_d, out_evals, out_hops, out_term, out_best_p, out_best_d,
+    hops_buf, hops_cap, contrib,
+):
+    """Same signature/semantics as :func:`repro.accel.kernels.greedy_kernel`."""
+    lib, ffi = _load()
+    return lib.repro_greedy(
+        _i64(ffi, offsets), _i64(ffi, targets),
+        int(kind), float(factor), float(power),
+        _f64(ffi, Q), Q.shape[1] if Q.ndim == 2 else 0,
+        _f64(ffi, data), data.shape[1],
+        _u8(ffi, codes), codes.shape[1],
+        _f64(ffi, minv), _f64(ffi, scale),
+        _f64(ffi, luts), luts.shape[1], luts.shape[2],
+        _i64(ffi, starts), _f64(ffi, d0), starts.shape[0],
+        int(budget),
+        _u8(ffi, allowed), int(has_allowed),
+        ffi.cast("int64_t *", out_p.ctypes.data),
+        ffi.cast("double *", out_d.ctypes.data),
+        ffi.cast("int64_t *", out_evals.ctypes.data),
+        ffi.cast("int64_t *", out_hops.ctypes.data),
+        ffi.cast("int64_t *", out_term.ctypes.data),
+        ffi.cast("int64_t *", out_best_p.ctypes.data),
+        ffi.cast("double *", out_best_d.ctypes.data),
+        ffi.cast("int64_t *", hops_buf.ctypes.data),
+        int(hops_cap),
+        ffi.cast("double *", contrib.ctypes.data),
+    )

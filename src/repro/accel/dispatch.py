@@ -1,0 +1,605 @@
+"""Backend registry, workload planning, and result assembly.
+
+This module owns the three runtime questions the accel layer answers:
+
+1. **Which backends can run here?**  ``"numba"`` when the kernels in
+   :mod:`repro.accel.kernels` self-compiled at import, ``"cffi"`` when
+   the :mod:`cffi` package and a system C compiler are present,
+   ``"python"`` (the interpreted kernel source, the bit-exact reference)
+   whenever numba is absent.  ``available_backends()`` reports them.
+
+2. **Which backend serves a search?**  A backend must be *warmed*
+   (compiled and self-checked against the numpy engines, via
+   :func:`warm`) before :func:`get_backend` will return it — so nothing
+   changes behavior until a caller opts in.  :func:`resolve_backend`
+   maps a ``SearchParams.backend`` request to a concrete name:
+   ``"auto"`` → the warmed best (else ``"numpy"``, never an error), an
+   explicit name → warm-on-demand or :class:`AccelUnavailableError`.
+
+3. **Can this workload run compiled?**  :func:`_plan` classifies the
+   (dataset, store, queries) combination into a kernel distance mode —
+   flat/SQ8 Euclidean and Chebyshev, PQ-ADC sum/power/max — and raises
+   :class:`UnsupportedWorkloadError` for everything else (object points,
+   explicit distance matrices, Minkowski over raw coordinates, ...),
+   which ``backend="auto"`` treats as a silent numpy fallback.
+
+:func:`run_beam` / :func:`run_greedy` then execute a whole batch in one
+kernel call and assemble results in the engines' exact output shapes.
+Reported distances are **re-evaluated through the same numpy distance
+view** the engines use (``FlatQueryView`` / SQ8 / PQ-ADC ``segmented``),
+so a compiled search returns bit-identical floats whenever it makes the
+same routing decisions — and the kernels replicate the engines' decision
+arithmetic (see :mod:`repro.accel.kernels`).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import shutil
+import time
+import warnings
+from typing import Any
+
+import numpy as np
+
+from repro.accel import kernels as _K
+from repro.metrics.euclidean import ChebyshevMetric, EuclideanMetric
+from repro.storage.base import FlatQueryView, decompose_metric
+
+__all__ = [
+    "AccelError",
+    "AccelUnavailableError",
+    "UnsupportedWorkloadError",
+    "AccelFallbackWarning",
+    "COMPILED_PRIORITY",
+    "available_backends",
+    "backend_status",
+    "get_backend",
+    "resolve_backend",
+    "warm",
+    "reset",
+    "run_beam",
+    "run_greedy",
+]
+
+
+class AccelError(RuntimeError):
+    """Base class of accel-layer errors."""
+
+
+class AccelUnavailableError(AccelError):
+    """An explicitly requested backend cannot run in this environment."""
+
+
+class UnsupportedWorkloadError(AccelError):
+    """The workload (metric / point layout / store) has no compiled
+    kernel; ``backend="auto"`` falls back to numpy, explicit backends
+    surface this error."""
+
+
+class AccelFallbackWarning(UserWarning):
+    """Emitted once per process when acceleration was requested but no
+    compiled backend is available, and the numpy engines serve instead."""
+
+
+#: Preference order of compiled backends for ``"auto"`` / ``warm()``.
+#: The interpreted ``"python"`` backend is never auto-selected — it is
+#: slower than the numpy engines and exists as the bit-exact reference.
+COMPILED_PRIORITY = ("numba", "cffi")
+
+BACKEND_CHOICES = ("auto", "numpy", "numba", "cffi", "python")
+
+# name -> {"compile_seconds": float}; a backend listed here has been
+# compiled and has passed its self-check this process.
+_WARM: dict[str, dict[str, Any]] = {}
+_WARNED_NO_COMPILED = False
+
+
+def _numba_available() -> bool:
+    return bool(_K.NUMBA_COMPILED)
+
+
+def _cffi_available() -> bool:
+    if importlib.util.find_spec("cffi") is None:
+        return False
+    return any(shutil.which(cc) for cc in ("cc", "gcc", "clang"))
+
+
+def available_backends() -> list[str]:
+    """Compiled/reference backends that *can* run here (warm or not)."""
+    out = []
+    if _numba_available():
+        out.append("numba")
+    if _cffi_available():
+        out.append("cffi")
+    if not _numba_available():
+        out.append("python")
+    return out
+
+
+def get_backend() -> str:
+    """The backend that serves ``backend="auto"`` searches right now:
+    the highest-priority *warmed* compiled backend, else ``"numpy"``.
+
+    Never warms, warns, or raises — before any :func:`warm` call this
+    is always ``"numpy"``, which is what keeps the accel layer inert
+    until a caller opts in.
+    """
+    for name in COMPILED_PRIORITY:
+        if name in _WARM:
+            return name
+    if "python" in _WARM:
+        return "python"
+    return "numpy"
+
+
+def backend_status() -> dict[str, Any]:
+    """JSON-safe status for ``index.stats()`` / ``repro index info``."""
+    available = available_backends()
+    backends: dict[str, Any] = {
+        "numpy": {"available": True, "warm": True, "compile_seconds": 0.0}
+    }
+    for name in ("numba", "cffi", "python"):
+        rec = _WARM.get(name)
+        backends[name] = {
+            "available": name in available,
+            "warm": rec is not None,
+            "compile_seconds": None if rec is None else rec["compile_seconds"],
+        }
+    return {"active": get_backend(), "backends": backends}
+
+
+def reset() -> None:
+    """Forget warm state and the fallback-warning latch (test isolation)."""
+    global _WARNED_NO_COMPILED
+    _WARM.clear()
+    _WARNED_NO_COMPILED = False
+
+
+def warm(backend: str | None = None) -> dict[str, Any]:
+    """Compile and self-check a backend; returns its warm record.
+
+    ``backend=None`` (or ``"auto"``) picks the best available compiled
+    backend; when none is available it emits one
+    :class:`AccelFallbackWarning` per process and records ``"numpy"`` —
+    callers keep working on the pinned engines.  An explicit name warms
+    that backend or raises :class:`AccelUnavailableError`.
+
+    Warming compiles both kernels (numba's lazy JIT fires here, under
+    ``cache=True`` so later processes reuse the on-disk cache; the cffi
+    backend compiles-or-dlopens its cached shared object) and runs a
+    small beam + greedy workload against the numpy engines, refusing to
+    install a backend that does not reproduce them exactly.  The
+    elapsed time is recorded as ``compile_seconds`` — the benches report
+    it separately so QPS numbers are not polluted by first-call JIT.
+    """
+    global _WARNED_NO_COMPILED
+    if backend is None or backend == "auto":
+        for name in COMPILED_PRIORITY:
+            if name in available_backends():
+                backend = name
+                break
+        else:
+            if not _WARNED_NO_COMPILED:
+                warnings.warn(
+                    "no compiled accel backend is available (numba is not "
+                    "installed and no C compiler/cffi was found); searches "
+                    "continue on the pinned numpy engines. Install the "
+                    "'accel' extra (pip install repro-proximity-graphs"
+                    "[accel]) for compiled kernels.",
+                    AccelFallbackWarning,
+                    stacklevel=2,
+                )
+                _WARNED_NO_COMPILED = True
+            return {"backend": "numpy", "compile_seconds": 0.0}
+    if backend == "numpy":
+        return {"backend": "numpy", "compile_seconds": 0.0}
+    if backend in _WARM:
+        return dict(_WARM[backend], backend=backend)
+    if backend not in available_backends():
+        raise AccelUnavailableError(_unavailable_message(backend))
+    t0 = time.perf_counter()
+    _kernel_fns(backend)  # compile / load
+    _self_check(backend)
+    seconds = time.perf_counter() - t0
+    _WARM[backend] = {"compile_seconds": seconds}
+    return {"backend": backend, "compile_seconds": seconds}
+
+
+def _unavailable_message(backend: str) -> str:
+    if backend == "numba":
+        return (
+            "backend='numba' was requested but numba is not importable in "
+            "this environment. Install it with the 'accel' extra "
+            "(pip install repro-proximity-graphs[accel]) or use "
+            "backend='auto' to fall back gracefully."
+        )
+    if backend == "cffi":
+        return (
+            "backend='cffi' was requested but cffi and/or a system C "
+            "compiler (cc/gcc/clang) is not available. Use backend='auto' "
+            "to fall back gracefully."
+        )
+    if backend == "python":
+        return (
+            "backend='python' (the interpreted reference kernels) is only "
+            "selectable when numba is absent; with numba installed the "
+            "same source is compiled — use backend='numba'."
+        )
+    raise ValueError(
+        f"unknown accel backend {backend!r}; choose from {BACKEND_CHOICES}"
+    )
+
+
+def resolve_backend(requested: str | None) -> str:
+    """Map a ``SearchParams.backend`` request to a concrete engine name.
+
+    ``None``/``"numpy"`` → ``"numpy"``; ``"auto"`` → :func:`get_backend`
+    (warmed best, else numpy — never warms implicitly, never raises);
+    an explicit backend name → that backend, warmed on demand, raising
+    :class:`AccelUnavailableError` when it cannot run here.
+    """
+    if requested is None or requested == "numpy":
+        return "numpy"
+    if requested == "auto":
+        return get_backend()
+    if requested not in BACKEND_CHOICES:
+        raise ValueError(
+            f"unknown accel backend {requested!r}; choose from {BACKEND_CHOICES}"
+        )
+    warm(requested)
+    return requested
+
+
+def _kernel_fns(backend: str):
+    """``(beam_fn, greedy_fn)`` for a backend, loading/compiling it."""
+    if backend in ("numba", "python"):
+        # One source: kernels.py self-compiled under numba when
+        # importable, interpreted otherwise.
+        return _K.beam_kernel, _K.greedy_kernel
+    if backend == "cffi":
+        from repro.accel import cbackend
+
+        return cbackend.beam_kernel, cbackend.greedy_kernel
+    raise AccelUnavailableError(_unavailable_message(backend))
+
+
+# ---------------------------------------------------------------------------
+# workload planning
+
+
+class _Plan:
+    """Kernel-consumable layout of one (dataset, store, Q) workload."""
+
+    __slots__ = (
+        "kind", "factor", "power", "Q", "data", "codes",
+        "minv", "scale", "luts", "msub", "view",
+    )
+
+
+_EMPTY_F2 = np.empty((0, 0), dtype=np.float64)
+_EMPTY_U2 = np.empty((0, 0), dtype=np.uint8)
+_EMPTY_F1 = np.empty(0, dtype=np.float64)
+_EMPTY_F3 = np.empty((0, 0, 0), dtype=np.float64)
+
+
+def _coord_kind(metric: Any, l2_kind: int, linf_kind: int) -> tuple[int, float]:
+    inner, factor = decompose_metric(metric)
+    if isinstance(inner, EuclideanMetric):
+        return l2_kind, factor
+    if isinstance(inner, ChebyshevMetric):
+        return linf_kind, factor
+    raise UnsupportedWorkloadError(
+        f"no compiled kernel for metric {type(inner).__name__} over raw "
+        "coordinates (Euclidean and Chebyshev are supported); use "
+        "backend='numpy'"
+    )
+
+
+def _coords_f64(arr: Any, who: str) -> np.ndarray:
+    a = np.asarray(arr)
+    if a.dtype != np.float64 or a.ndim != 2:
+        raise UnsupportedWorkloadError(
+            f"compiled kernels need (n, d) float64 {who}, got dtype "
+            f"{a.dtype} with shape {getattr(a, 'shape', '?')}; use "
+            "backend='numpy'"
+        )
+    return np.ascontiguousarray(a)
+
+
+def _plan(dataset: Any, store: Any, Q: Any) -> _Plan:
+    """Classify the workload and export kernel-ready arrays.
+
+    The distance *view* (the numpy oracle) is built exactly as the
+    engines build it — it seeds start distances and re-evaluates every
+    reported candidate, which is what makes results bit-identical.
+    """
+    plan = _Plan()
+    plan.data = _EMPTY_F2
+    plan.codes = _EMPTY_U2
+    plan.minv = _EMPTY_F1
+    plan.scale = _EMPTY_F1
+    plan.luts = _EMPTY_F3
+    plan.power = 2.0
+    plan.msub = 0
+
+    kind = getattr(store, "kind", "flat") if store is not None else "flat"
+    if kind == "flat":
+        view = (
+            FlatQueryView(dataset.metric, dataset.points, Q)
+            if store is None
+            else store.bind(Q)
+        )
+        plan.view = view
+        plan.Q = _coords_f64(Q, "queries")
+        plan.data = _coords_f64(view.points, "points")
+        plan.kind, plan.factor = _coord_kind(
+            view.metric, _K.KIND_FLAT_L2, _K.KIND_FLAT_LINF
+        )
+        if plan.Q.shape[1] != plan.data.shape[1]:
+            raise UnsupportedWorkloadError(
+                f"query dimension {plan.Q.shape[1]} does not match point "
+                f"dimension {plan.data.shape[1]}"
+            )
+    elif kind == "sq8":
+        view = store.bind(Q)
+        plan.view = view
+        plan.Q = _coords_f64(view.Q, "queries")  # the view's float64 cast
+        plan.kind, plan.factor = _coord_kind(
+            store.metric, _K.KIND_SQ8_L2, _K.KIND_SQ8_LINF
+        )
+        plan.codes = np.ascontiguousarray(store.codes)
+        plan.minv = np.ascontiguousarray(store.params.minv, dtype=np.float64)
+        plan.scale = np.ascontiguousarray(store.params.scale, dtype=np.float64)
+        if plan.Q.shape[1] != plan.codes.shape[1]:
+            raise UnsupportedWorkloadError(
+                f"query dimension {plan.Q.shape[1]} does not match sq8 code "
+                f"dimension {plan.codes.shape[1]}"
+            )
+    elif kind == "pq":
+        view = store.bind(Q)  # validates dims, pays the ADC LUTs once
+        plan.view = view
+        plan.Q = _EMPTY_F2  # PQ traversal reads only LUTs + codes
+        plan.codes = np.ascontiguousarray(store.codes)
+        plan.msub = int(plan.codes.shape[1])
+        if plan.msub > 128:
+            raise UnsupportedWorkloadError(
+                f"pq store has {plan.msub} subspaces; compiled ADC kernels "
+                "replicate numpy's pairwise summation only up to 128 — use "
+                "backend='numpy'"
+            )
+        plan.luts = np.ascontiguousarray(view.luts)
+        plan.factor = float(view.factor)
+        if view.combine == "max":
+            plan.kind = _K.KIND_PQ_MAX
+        elif view.power == 2.0:
+            plan.kind = _K.KIND_PQ_SUM2
+        else:
+            plan.kind = _K.KIND_PQ_SUMP
+            plan.power = float(view.power)
+    else:
+        raise UnsupportedWorkloadError(
+            f"no compiled kernel for store kind {kind!r}; use backend='numpy'"
+        )
+    return plan
+
+
+# ---------------------------------------------------------------------------
+# batch execution + result assembly
+
+
+def _query_array(queries: Any) -> np.ndarray:
+    arr = queries if isinstance(queries, np.ndarray) else np.asarray(queries)
+    if arr.dtype == object:
+        raise UnsupportedWorkloadError(
+            "compiled kernels need a rectangular numeric query array; use "
+            "backend='numpy'"
+        )
+    return arr
+
+
+def _start_distances(view: Any, starts: np.ndarray) -> np.ndarray:
+    return np.array(
+        [view.scalar(i, int(starts[i])) for i in range(len(starts))],
+        dtype=np.float64,
+    )
+
+
+def run_beam(
+    backend: str,
+    graph: Any,
+    dataset: Any,
+    starts: Any,
+    queries: Any,
+    beam_width: int,
+    k: int = 1,
+    budget: int | None = None,
+    allowed: np.ndarray | None = None,
+    store: Any = None,
+) -> list[tuple[list[tuple[int, float]], int]]:
+    """Whole-batch compiled beam search; output shape and values match
+    ``engine.beam_search_batch`` (callers validate arguments first)."""
+    beam_fn, _ = _kernel_fns(backend)
+    Q = _query_array(queries)
+    plan = _plan(dataset, store, Q)
+    graph.freeze()
+    offsets, targets = graph.csr()
+    offsets = np.ascontiguousarray(offsets, dtype=np.int64)
+    targets = np.ascontiguousarray(targets, dtype=np.int64)
+    m = len(queries)
+    if m == 0:
+        return []
+    starts64 = np.ascontiguousarray(np.asarray(starts), dtype=np.int64)
+    d0 = _start_distances(plan.view, starts64)
+    n = graph.n
+    k_eff = max(int(k), 1)
+    if allowed is not None:
+        allowed_u8 = np.ascontiguousarray(allowed).view(np.uint8)
+        has_allowed = 1
+    else:
+        allowed_u8 = np.zeros(0, dtype=np.uint8)
+        has_allowed = 0
+    out_ids = np.full((m, k_eff), -1, dtype=np.int64)
+    out_dists = np.full((m, k_eff), np.inf, dtype=np.float64)
+    out_evals = np.zeros(m, dtype=np.int64)
+    visited = np.zeros(n, dtype=np.int32)
+    cand_d = np.empty(n + 1, dtype=np.float64)
+    cand_v = np.empty(n + 1, dtype=np.int64)
+    pool_d = np.empty(int(beam_width) + 1, dtype=np.float64)
+    pool_v = np.empty(int(beam_width) + 1, dtype=np.int64)
+    contrib = np.empty(max(plan.msub, 1), dtype=np.float64)
+    beam_fn(
+        offsets, targets, plan.kind, plan.factor, plan.power,
+        plan.Q, plan.data, plan.codes, plan.minv, plan.scale, plan.luts,
+        starts64, d0, int(beam_width), k_eff,
+        -1 if budget is None else int(budget),
+        allowed_u8, has_allowed,
+        out_ids, out_dists, out_evals,
+        visited, cand_d, cand_v, pool_d, pool_v, contrib,
+    )
+    # Re-evaluate reported distances through the numpy view so the
+    # floats are bit-identical to the engines' (start vertices keep
+    # their scalar() value, exactly as _BeamState seeds them).
+    counts = (out_ids >= 0).sum(axis=1).astype(np.int64)
+    flat = out_ids[out_ids >= 0]
+    exact = np.empty(len(flat), dtype=np.float64)
+    nonzero = counts > 0
+    if flat.size:
+        exact[:] = plan.view.segmented(
+            np.flatnonzero(nonzero), flat, counts[nonzero]
+        )
+    out: list[tuple[list[tuple[int, float]], int]] = []
+    pos = 0
+    for qi in range(m):
+        c = int(counts[qi])
+        pairs = []
+        for j in range(c):
+            v = int(out_ids[qi, j])
+            d = d0[qi] if v == int(starts64[qi]) else exact[pos + j]
+            pairs.append((v, float(d)))
+        pos += c
+        out.append((pairs, int(out_evals[qi])))
+    return out
+
+
+def run_greedy(
+    backend: str,
+    graph: Any,
+    dataset: Any,
+    starts: Any,
+    queries: Any,
+    budget: int | None = None,
+    allowed: np.ndarray | None = None,
+    store: Any = None,
+) -> list[Any]:
+    """Whole-batch compiled greedy routing; returns the engines'
+    ``GreedyResult`` objects (full hop paths included)."""
+    from repro.graphs.greedy import GreedyResult
+
+    _, greedy_fn = _kernel_fns(backend)
+    Q = _query_array(queries)
+    plan = _plan(dataset, store, Q)
+    graph.freeze()
+    offsets, targets = graph.csr()
+    offsets = np.ascontiguousarray(offsets, dtype=np.int64)
+    targets = np.ascontiguousarray(targets, dtype=np.int64)
+    m = len(queries)
+    if m == 0:
+        return []
+    starts64 = np.ascontiguousarray(np.asarray(starts), dtype=np.int64)
+    d0 = _start_distances(plan.view, starts64)
+    if allowed is not None:
+        allowed_u8 = np.ascontiguousarray(allowed).view(np.uint8)
+        has_allowed = 1
+    else:
+        allowed_u8 = np.zeros(0, dtype=np.uint8)
+        has_allowed = 0
+    out_p = np.zeros(m, dtype=np.int64)
+    out_d = np.zeros(m, dtype=np.float64)
+    out_evals = np.zeros(m, dtype=np.int64)
+    out_hops = np.zeros(m, dtype=np.int64)
+    out_term = np.zeros(m, dtype=np.int64)
+    out_best_p = np.zeros(m, dtype=np.int64)
+    out_best_d = np.zeros(m, dtype=np.float64)
+    contrib = np.empty(max(plan.msub, 1), dtype=np.float64)
+    budget_i = -1 if budget is None else int(budget)
+    hops_cap = 64
+    while True:
+        hops_buf = np.zeros((m, hops_cap), dtype=np.int64)
+        maxnh = greedy_fn(
+            offsets, targets, plan.kind, plan.factor, plan.power,
+            plan.Q, plan.data, plan.codes, plan.minv, plan.scale, plan.luts,
+            starts64, d0, budget_i, allowed_u8, has_allowed,
+            out_p, out_d, out_evals, out_hops, out_term,
+            out_best_p, out_best_d, hops_buf, hops_cap, contrib,
+        )
+        if int(maxnh) <= hops_cap:
+            break
+        hops_cap = int(maxnh)  # rare: a walk outran the buffer; retry
+
+    # Reported vertices: the walk end, or the best-allowed record when
+    # filtering.  Re-evaluate their distances through the numpy view
+    # (d0 for start vertices, segmented() otherwise) for bit-identity.
+    rep_p = out_best_p if allowed is not None else out_p
+    need = np.flatnonzero((rep_p >= 0) & (rep_p != starts64))
+    exact = np.empty(m, dtype=np.float64)
+    if len(need):
+        exact[need] = plan.view.segmented(
+            need, rep_p[need], np.ones(len(need), dtype=np.int64)
+        )
+    results = []
+    for qi in range(m):
+        p = int(rep_p[qi])
+        if p < 0:
+            d = np.inf
+        elif p == int(starts64[qi]):
+            d = float(d0[qi])
+        else:
+            d = float(exact[qi])
+        nh = int(out_hops[qi])
+        results.append(
+            GreedyResult(
+                point=p,
+                distance=d,
+                hops=[int(h) for h in hops_buf[qi, :nh]],
+                distance_evals=int(out_evals[qi]),
+                self_terminated=bool(out_term[qi]),
+            )
+        )
+    return results
+
+
+# ---------------------------------------------------------------------------
+# warm-time self-check
+
+
+def _self_check(backend: str) -> None:
+    """Refuse to warm a backend that does not reproduce the numpy
+    engines on a small smoke workload."""
+    from repro.graphs import engine
+    from repro.graphs.base import ProximityGraph
+    from repro.metrics.base import Dataset
+    from repro.metrics.euclidean import EuclideanMetric
+
+    rng = np.random.default_rng(12345)
+    n, d, mq = 48, 6, 8
+    points = rng.standard_normal((n, d))
+    dataset = Dataset(EuclideanMetric(), points)
+    edges = []
+    for u in range(n):
+        for v in rng.choice(n, size=4, replace=False):
+            if int(v) != u:
+                edges.append((u, int(v)))
+    graph = ProximityGraph.from_edge_list(n, edges).freeze()
+    Q = rng.standard_normal((mq, d))
+    starts = rng.integers(0, n, size=mq)
+
+    want_beam = engine.beam_search_batch(graph, dataset, starts, Q, beam_width=6, k=4)
+    got_beam = run_beam(backend, graph, dataset, starts, Q, beam_width=6, k=4)
+    want_greedy = engine.greedy_batch(graph, dataset, starts, Q)
+    got_greedy = run_greedy(backend, graph, dataset, starts, Q)
+    if want_beam != got_beam or want_greedy != got_greedy:
+        raise AccelError(
+            f"accel backend {backend!r} failed its warm-time self-check "
+            "against the numpy engines; refusing to enable it"
+        )

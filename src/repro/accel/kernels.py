@@ -1,0 +1,518 @@
+"""The traversal kernels — pinned reference source for every backend.
+
+Each function below is written in the restricted style :func:`numba.njit`
+compiles (flat loops over preallocated arrays, no Python containers, no
+closures) and is decorated with ``@njit(cache=True)`` automatically when
+numba is importable.  Without numba the very same functions run under
+the plain interpreter — that is the ``"python"`` backend the equivalence
+suites pin the compiled backends against, and the semantics contract the
+C backend (:mod:`repro.accel.cbackend`) mirrors line for line.
+
+Semantics are replicated operation-for-operation from the numpy engines
+in :mod:`repro.graphs.engine`:
+
+* the candidate queue pops the lexicographic minimum of ``(distance,
+  vertex)`` and the result pool evicts the lexicographic minimum of
+  ``(-distance, vertex)`` — exactly the ``heapq`` tuple orders of
+  ``_BeamState`` — so pop/evict sequences match the numpy path even
+  through distance ties;
+* neighbors are gathered, evaluated, and folded into the heaps in CSR
+  slice order (ascending vertex id), reproducing the engines'
+  first-index-of-minimum tie-breaks;
+* ``budget`` is checked and truncates segments at the same points in the
+  iteration as the numpy code, so ``distance_evals`` matches exactly;
+* ``allowed`` masks gate pool membership (beam) and best-so-far
+  bookkeeping (greedy) but never traversal, as in the engines;
+* the visited structure is a generation-stamped ``int32`` array —
+  allocated once per batch, reset by bumping the generation per query.
+
+Floating-point contract: distances accumulate sequentially in float64
+(the documented arithmetic compiled backends reproduce under strict
+IEEE rules — numba's default ``fastmath=False``, C under
+``-ffp-contract=off``).  PQ-ADC row reductions replicate numpy's
+pairwise summation exactly (:func:`pairwise_sum`), because the numpy
+engine sums LUT contributions with ``ndarray.sum``.  Traversal
+*decisions* therefore agree with the numpy engines wherever the numpy
+path's SIMD-dispatched ``einsum`` accumulation does not flip a
+comparison at 1-ulp scale — which the 3-seed equivalence suites pin
+empirically — and *reported* distances are recomputed through the numpy
+distance view by the dispatch layer, so results are bit-identical
+whenever decisions agree.
+
+Kernels never allocate: every output and scratch array is provided by
+:mod:`repro.accel.dispatch`.  Distance-mode selection is a runtime
+``kind`` code (`KIND_*`), so one compiled signature serves flat, SQ8,
+and PQ traversals; unused model arrays are passed empty.
+"""
+
+import math
+import os
+
+import numpy as np
+
+__all__ = [
+    "KIND_FLAT_L2",
+    "KIND_FLAT_LINF",
+    "KIND_SQ8_L2",
+    "KIND_SQ8_LINF",
+    "KIND_PQ_SUM2",
+    "KIND_PQ_SUMP",
+    "KIND_PQ_MAX",
+    "NUMBA_COMPILED",
+    "pairwise_sum",
+    "beam_kernel",
+    "greedy_kernel",
+]
+
+KIND_FLAT_L2 = 0
+KIND_FLAT_LINF = 1
+KIND_SQ8_L2 = 2
+KIND_SQ8_LINF = 3
+KIND_PQ_SUM2 = 4
+KIND_PQ_SUMP = 5
+KIND_PQ_MAX = 6
+
+_INF = np.inf
+
+# Self-decorate with numba when importable (and not explicitly disabled,
+# which the no-numba CI leg uses to prove the interpreted path).  The
+# decoration is lazy-compiling: importing this module never compiles;
+# the first kernel call does, and ``cache=True`` persists the compiled
+# machine code on disk so later processes skip compilation.
+if os.environ.get("REPRO_ACCEL_DISABLE_NUMBA"):  # pragma: no cover
+    NUMBA_COMPILED = False
+
+    def _jit(fn):
+        return fn
+
+else:
+    try:
+        from numba import njit as _njit
+
+        NUMBA_COMPILED = True
+
+        def _jit(fn):
+            return _njit(cache=True, fastmath=False)(fn)
+
+    except ImportError:
+        NUMBA_COMPILED = False
+
+        def _jit(fn):
+            return fn
+
+
+@_jit
+def pairwise_sum(a, lo, n):
+    """numpy's pairwise summation of ``a[lo : lo + n]``, bit for bit.
+
+    Replicates ``pairwise_sum_DOUBLE`` from numpy's reduction loops for
+    the contiguous unit-stride case: sequential below 8 elements, an
+    8-accumulator unrolled pass combined as ``((r0+r1) + (r2+r3)) +
+    ((r4+r5) + (r6+r7))`` up to the 128-element block size.  (The
+    recursive >128 splitting is not replicated; the dispatch layer
+    rejects PQ stores with more than 128 subspaces.)
+    """
+    if n < 8:
+        res = 0.0
+        for i in range(n):
+            res += a[lo + i]
+        return res
+    r0 = a[lo]
+    r1 = a[lo + 1]
+    r2 = a[lo + 2]
+    r3 = a[lo + 3]
+    r4 = a[lo + 4]
+    r5 = a[lo + 5]
+    r6 = a[lo + 6]
+    r7 = a[lo + 7]
+    i = 8
+    while i + 8 <= n:
+        r0 += a[lo + i]
+        r1 += a[lo + i + 1]
+        r2 += a[lo + i + 2]
+        r3 += a[lo + i + 3]
+        r4 += a[lo + i + 4]
+        r5 += a[lo + i + 5]
+        r6 += a[lo + i + 6]
+        r7 += a[lo + i + 7]
+        i += 8
+    res = ((r0 + r1) + (r2 + r3)) + ((r4 + r5) + (r6 + r7))
+    while i < n:
+        res += a[lo + i]
+        i += 1
+    return res
+
+
+@_jit
+def _dist(kind, factor, power, Q, qi, data, codes, minv, scale, luts, contrib, v):
+    """Distance from query row ``qi`` to stored vector ``v``.
+
+    Sequential float64 accumulation; ``factor`` is the unwrapped
+    ``ScaledMetric`` normalization multiplied through at the end, as
+    ``decompose_metric`` documents.
+    """
+    if kind == KIND_FLAT_L2:
+        acc = 0.0
+        for j in range(data.shape[1]):
+            t = Q[qi, j] - data[v, j]
+            acc += t * t
+        return factor * math.sqrt(acc)
+    if kind == KIND_FLAT_LINF:
+        acc = 0.0
+        for j in range(data.shape[1]):
+            t = abs(Q[qi, j] - data[v, j])
+            if t > acc:
+                acc = t
+        return factor * acc
+    if kind == KIND_SQ8_L2:
+        acc = 0.0
+        for j in range(codes.shape[1]):
+            t = Q[qi, j] - (codes[v, j] * scale[j] + minv[j])
+            acc += t * t
+        return factor * math.sqrt(acc)
+    if kind == KIND_SQ8_LINF:
+        acc = 0.0
+        for j in range(codes.shape[1]):
+            t = abs(Q[qi, j] - (codes[v, j] * scale[j] + minv[j]))
+            if t > acc:
+                acc = t
+        return factor * acc
+    # PQ-ADC: gather per-subspace LUT contributions, then combine the
+    # row with numpy's own reduction arithmetic.
+    msub = codes.shape[1]
+    if kind == KIND_PQ_MAX:
+        acc = 0.0
+        for j in range(msub):
+            t = luts[qi, j, codes[v, j]]
+            if j == 0 or t > acc:
+                acc = t
+        return factor * acc
+    for j in range(msub):
+        contrib[j] = luts[qi, j, codes[v, j]]
+    acc = pairwise_sum(contrib, 0, msub)
+    if kind == KIND_PQ_SUM2:
+        return factor * math.sqrt(acc)
+    return factor * acc ** (1.0 / power)
+
+
+# -- array heaps --------------------------------------------------------
+#
+# The candidate queue is a binary min-heap on the key (d, v) — the
+# lexicographic tuple order heapq applies to _BeamState.candidates.  The
+# pool is a binary max-heap whose root is the *worst* pool entry under
+# the key (-d, v): largest distance first, smallest vertex id among
+# distance ties — the entry heapq pops from _BeamState.pool on
+# eviction.  Keys are unique per query (each vertex enters a heap at
+# most once), so pop/evict order is a total order and any conforming
+# heap reproduces the numpy sequence exactly.
+
+
+@_jit
+def _cand_push(cd, cv, size, d, v):
+    i = size
+    cd[i] = d
+    cv[i] = v
+    while i > 0:
+        p = (i - 1) >> 1
+        if cd[i] < cd[p] or (cd[i] == cd[p] and cv[i] < cv[p]):
+            cd[i], cd[p] = cd[p], cd[i]
+            cv[i], cv[p] = cv[p], cv[i]
+            i = p
+        else:
+            break
+    return size + 1
+
+
+@_jit
+def _cand_pop(cd, cv, size):
+    size -= 1
+    cd[0] = cd[size]
+    cv[0] = cv[size]
+    i = 0
+    while True:
+        left = 2 * i + 1
+        if left >= size:
+            break
+        small = left
+        right = left + 1
+        if right < size and (
+            cd[right] < cd[left] or (cd[right] == cd[left] and cv[right] < cv[left])
+        ):
+            small = right
+        if cd[small] < cd[i] or (cd[small] == cd[i] and cv[small] < cv[i]):
+            cd[i], cd[small] = cd[small], cd[i]
+            cv[i], cv[small] = cv[small], cv[i]
+            i = small
+        else:
+            break
+    return size
+
+
+@_jit
+def _pool_worse(d1, v1, d2, v2):
+    """True when entry 1 is evicted before entry 2 — heapq order on
+    ``(-d, v)``: larger distance first, smaller id among ties."""
+    if d1 > d2:
+        return True
+    if d1 == d2 and v1 < v2:
+        return True
+    return False
+
+
+@_jit
+def _pool_push(pd, pv, size, d, v):
+    i = size
+    pd[i] = d
+    pv[i] = v
+    while i > 0:
+        p = (i - 1) >> 1
+        if _pool_worse(pd[i], pv[i], pd[p], pv[p]):
+            pd[i], pd[p] = pd[p], pd[i]
+            pv[i], pv[p] = pv[p], pv[i]
+            i = p
+        else:
+            break
+    return size + 1
+
+
+@_jit
+def _pool_pop(pd, pv, size):
+    size -= 1
+    pd[0] = pd[size]
+    pv[0] = pv[size]
+    i = 0
+    while True:
+        left = 2 * i + 1
+        if left >= size:
+            break
+        worst = left
+        right = left + 1
+        if right < size and _pool_worse(pd[right], pv[right], pd[left], pv[left]):
+            worst = right
+        if _pool_worse(pd[worst], pv[worst], pd[i], pv[i]):
+            pd[i], pd[worst] = pd[worst], pd[i]
+            pv[i], pv[worst] = pv[worst], pv[i]
+            i = worst
+        else:
+            break
+    return size
+
+
+@_jit
+def beam_kernel(
+    offsets,
+    targets,
+    kind,
+    factor,
+    power,
+    Q,
+    data,
+    codes,
+    minv,
+    scale,
+    luts,
+    starts,
+    d0,
+    beam_width,
+    k_fetch,
+    budget,
+    allowed,
+    has_allowed,
+    out_ids,
+    out_dists,
+    out_evals,
+    visited,
+    cand_d,
+    cand_v,
+    pool_d,
+    pool_v,
+    contrib,
+):
+    """Best-first beam search for every query of the batch.
+
+    Mirrors the per-query state transitions of
+    ``engine.beam_search_batch`` (queries are independent, so the numpy
+    path's lockstep rounds and this sequential sweep visit identical
+    states).  ``budget < 0`` means unbudgeted.  Outputs: ``out_ids`` /
+    ``out_dists`` hold each query's pool sorted ascending by
+    ``(distance, vertex)``, ``-1`` / ``inf`` padded past the pool size;
+    ``out_evals`` the exact distance-evaluation counts.
+    """
+    nq = starts.shape[0]
+    for qi in range(nq):
+        gen = qi + 1
+        s = starts[qi]
+        csize = _cand_push(cand_d, cand_v, 0, d0[qi], s)
+        psize = 0
+        if has_allowed == 0 or allowed[s] != 0:
+            psize = _pool_push(pool_d, pool_v, 0, d0[qi], s)
+        visited[s] = gen
+        evals = 1
+        while csize > 0:
+            dcur = cand_d[0]
+            u = cand_v[0]
+            csize = _cand_pop(cand_d, cand_v, csize)
+            if psize >= beam_width and dcur > pool_d[0]:
+                break
+            beg = offsets[u]
+            end = offsets[u + 1]
+            cnt = 0
+            for ei in range(beg, end):
+                if visited[targets[ei]] != gen:
+                    cnt += 1
+            if cnt == 0:
+                continue
+            if budget >= 0 and evals >= budget:
+                break
+            take = cnt
+            if budget >= 0 and evals + cnt > budget:
+                take = budget - evals
+            processed = 0
+            for ei in range(beg, end):
+                if processed >= take:
+                    break
+                v = targets[ei]
+                if visited[v] == gen:
+                    continue
+                processed += 1
+                visited[v] = gen
+                dv = _dist(
+                    kind, factor, power, Q, qi, data, codes, minv, scale, luts, contrib, v
+                )
+                evals += 1
+                if psize < beam_width or dv < pool_d[0]:
+                    csize = _cand_push(cand_d, cand_v, csize, dv, v)
+                    if has_allowed == 0 or allowed[v] != 0:
+                        psize = _pool_push(pool_d, pool_v, psize, dv, v)
+                        if psize > beam_width:
+                            psize = _pool_pop(pool_d, pool_v, psize)
+        # Extract: the numpy path reports sorted((-d, v) for pool)[:k],
+        # i.e. ascending (distance, vertex).  Insertion-sort the pool
+        # (≤ beam_width entries) under that key.
+        for a in range(1, psize):
+            dd = pool_d[a]
+            vv = pool_v[a]
+            b = a - 1
+            while b >= 0 and (pool_d[b] > dd or (pool_d[b] == dd and pool_v[b] > vv)):
+                pool_d[b + 1] = pool_d[b]
+                pool_v[b + 1] = pool_v[b]
+                b -= 1
+            pool_d[b + 1] = dd
+            pool_v[b + 1] = vv
+        n_out = psize if psize < k_fetch else k_fetch
+        for a in range(n_out):
+            out_ids[qi, a] = pool_v[a]
+            out_dists[qi, a] = pool_d[a]
+        out_evals[qi] = evals
+    return 0
+
+
+@_jit
+def greedy_kernel(
+    offsets,
+    targets,
+    kind,
+    factor,
+    power,
+    Q,
+    data,
+    codes,
+    minv,
+    scale,
+    luts,
+    starts,
+    d0,
+    budget,
+    allowed,
+    has_allowed,
+    out_p,
+    out_d,
+    out_evals,
+    out_hops,
+    out_term,
+    out_best_p,
+    out_best_d,
+    hops_buf,
+    hops_cap,
+    contrib,
+):
+    """Greedy routing for every query of the batch.
+
+    Mirrors ``engine.greedy_batch`` exactly: budget checked before each
+    hop, segment truncation in slice order, per-hop first-minimum
+    tie-break, strict-improvement advance, ``self_terminated`` false on
+    truncated final hops, and the ``allowed`` best-so-far bookkeeping
+    (per-hop first admissible minimum folded under strict improvement).
+    Walks record their hop vertices into ``hops_buf`` up to ``hops_cap``
+    entries per query; the return value is the batch's true maximum hop
+    count so the dispatcher can retry with a bigger buffer in the rare
+    case a walk outruns it.
+    """
+    nq = starts.shape[0]
+    maxnh = 0
+    for qi in range(nq):
+        p = starts[qi]
+        dcur = d0[qi]
+        evals = 1
+        nh = 1
+        if hops_cap > 0:
+            hops_buf[qi, 0] = p
+        bp = -1
+        bd = _INF
+        if has_allowed != 0 and allowed[p] != 0:
+            bp = p
+            bd = dcur
+        term = 0
+        while True:
+            if budget >= 0 and evals >= budget:
+                term = 0
+                break
+            beg = offsets[p]
+            end = offsets[p + 1]
+            deg = end - beg
+            if deg == 0:
+                term = 1
+                break
+            take = deg
+            truncated = 0
+            if budget >= 0 and evals + deg > budget:
+                take = budget - evals
+                truncated = 1
+            bestd = _INF
+            bestv = -1
+            hop_ad = _INF
+            hop_av = -1
+            for i in range(take):
+                v = targets[beg + i]
+                dv = _dist(
+                    kind, factor, power, Q, qi, data, codes, minv, scale, luts, contrib, v
+                )
+                if has_allowed != 0 and allowed[v] != 0 and dv < hop_ad:
+                    hop_ad = dv
+                    hop_av = v
+                if dv < bestd:
+                    bestd = dv
+                    bestv = v
+            evals += take
+            if hop_av >= 0 and hop_ad < bd:
+                bd = hop_ad
+                bp = hop_av
+            if bestd < dcur:
+                p = bestv
+                dcur = bestd
+                if nh < hops_cap:
+                    hops_buf[qi, nh] = p
+                nh += 1
+            else:
+                term = 0 if truncated == 1 else 1
+                break
+        out_p[qi] = p
+        out_d[qi] = dcur
+        out_evals[qi] = evals
+        out_hops[qi] = nh
+        out_term[qi] = term
+        out_best_p[qi] = bp
+        out_best_d[qi] = bd
+        if nh > maxnh:
+            maxnh = nh
+    return maxnh

@@ -47,6 +47,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import accel
 from repro.core.builders import BATCHED_BUILDERS, available_builders, build
 from repro.core.index import ProximityGraphIndex
 from repro.core.persistence import load_any
@@ -208,8 +209,26 @@ def _cmd_bench_throughput(args: argparse.Namespace) -> int:
     )
     starts = rng.integers(graph.n, size=len(queries))
 
+    # Warm the requested backend before the clock starts (JIT/C
+    # compilation reported separately) and run one untimed warm-up
+    # batch so first-call costs never pollute the QPS numbers.
+    backend = args.backend
+    compile_seconds = 0.0
+    if backend != "numpy":
+        rec = accel.warm(None if backend == "auto" else backend)
+        compile_seconds = rec["compile_seconds"]
+        if backend == "auto":
+            backend = rec["backend"]
+    warm_m = min(len(queries), 64)
+    greedy_batch(
+        graph, dataset, starts[:warm_m], queries[:warm_m],
+        budget=args.budget, backend=backend,
+    )
+
     t0 = time.perf_counter()
-    batch = greedy_batch(graph, dataset, starts, queries, budget=args.budget)
+    batch = greedy_batch(
+        graph, dataset, starts, queries, budget=args.budget, backend=backend
+    )
     batch_seconds = time.perf_counter() - t0
 
     scalar_seconds = None
@@ -239,6 +258,9 @@ def _cmd_bench_throughput(args: argparse.Namespace) -> int:
             float(np.mean([r.distance_evals for r in batch])), 1
         ),
         "batch_qps": round(len(queries) / batch_seconds, 1),
+        "backend": backend,
+        "jit_compile_seconds": round(compile_seconds, 3),
+        "warmup_batch": warm_m,
     }
     if scalar_seconds is not None:
         out["scalar_qps"] = round(len(queries) / scalar_seconds, 1)
@@ -330,12 +352,14 @@ def _cmd_search(args: argparse.Namespace) -> int:
         seed=args.seed,
         allowed_ids=args.allowed if args.allowed else None,
         rerank_factor=args.rerank_factor,
+        backend=args.backend,
     )
     result, seconds = timed(lambda: index.search(queries, k=args.k, params=params))
     out = {
         "queries": result.m,
         "k": result.k,
         "mode": args.mode,
+        "backend": args.backend,
         "seconds": round(seconds, 4),
         "mean_distance_evals": round(float(result.evals.mean()), 1)
         if result.m
@@ -400,6 +424,7 @@ def _cmd_index_info(args: argparse.Namespace) -> int:
         "tombstones": int(index.tombstone_count),
         "epsilon": float(index.epsilon),
         "storage": storage_breakdown(index),
+        "accel": accel.backend_status(),
     }
     if isinstance(index, ShardedIndex):
         out["shards"] = index.n_shards
@@ -629,6 +654,12 @@ def _parser() -> argparse.ArgumentParser:
                    help="over-fetch multiplier of the compressed-traversal "
                    "+ exact-rerank pipeline (quantized indexes; default: "
                    "the storage's own, 2 for sq8 / 4 for pq)")
+    p.add_argument("--backend", default="auto",
+                   choices=["auto", "numpy", "numba", "cffi", "python"],
+                   help="traversal backend: 'auto' uses the best warmed "
+                   "compiled backend (numpy until repro.accel.warm() ran), "
+                   "'numpy' pins the pure-numpy engines, a backend name "
+                   "forces it (warming on demand; error if unavailable)")
     p.set_defaults(fn=_cmd_search)
 
     p = sub.add_parser("index", help="saved-index utilities")
@@ -703,6 +734,11 @@ def _parser() -> argparse.ArgumentParser:
         action="store_true",
         help="report only the batch engine (skip the slow scalar baseline)",
     )
+    p.add_argument("--backend", default="numpy",
+                   choices=["auto", "numpy", "numba", "cffi", "python"],
+                   help="traversal backend for the batch engine; non-numpy "
+                   "backends are warmed before the clock starts and their "
+                   "compile time is reported as jit_compile_seconds")
     p.set_defaults(fn=_cmd_bench_throughput)
 
     p = sub.add_parser(

@@ -348,6 +348,7 @@ class ProximityGraphIndex:
             results = greedy_batch(
                 self.graph, self.dataset, starts, Q,
                 budget=params.budget, allowed=allowed, store=traversal_store,
+                backend=params.backend,
             )
             ids[:, 0] = self.id_map.to_external([r.point for r in results])
             evals[:] = [r.distance_evals for r in results]
@@ -387,7 +388,7 @@ class ProximityGraphIndex:
         found = beam_search_batch(
             self.graph, self.dataset, starts, Q,
             beam_width=width, k=k_fetch, budget=params.budget, allowed=allowed,
-            store=traversal_store,
+            store=traversal_store, backend=params.backend,
         )
         if not two_stage:
             for i, (pairs, ev) in enumerate(found):
@@ -824,6 +825,9 @@ class ProximityGraphIndex:
         out["active"] = self.active_count
         out["tombstones"] = self.tombstone_count
         out["storage"] = self.store.summary()
+        from repro import accel
+
+        out["accel"] = accel.backend_status()
         return out
 
     def validate(
@@ -840,13 +844,16 @@ class ProximityGraphIndex:
         budget: int | None = None,
         starts: Sequence[int] | None = None,
         seed: int | None = None,
+        backend: str | None = None,
     ) -> QueryStats:
         """Cost/quality statistics of greedy over a query batch.
 
         Default start vertices come from a generator seeded with
         ``seed`` (falling back to the index's build seed), never from
         shared mutable state — repeated identical calls return identical
-        statistics regardless of what ran in between.
+        statistics regardless of what ran in between.  ``backend``
+        selects the traversal engine as in :class:`SearchParams`
+        (``None`` means ``"auto"``).
         """
         return measure_queries(
             self.graph,
@@ -856,4 +863,5 @@ class ProximityGraphIndex:
             starts=starts,
             budget=budget,
             rng=np.random.default_rng(self.seed if seed is None else seed),
+            backend=backend,
         )

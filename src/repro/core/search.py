@@ -71,6 +71,17 @@ class SearchParams:
         4 for PQ.  ``rerank_factor=1`` keeps the candidate set of the
         plain traversal and only replaces its approximate distances
         with exact ones.
+    backend:
+        Traversal engine: ``"auto"`` (default) runs the best *warmed*
+        :mod:`repro.accel` compiled backend and otherwise the pinned
+        numpy engines — nothing changes until ``repro.accel.warm()``
+        has been called in the process.  ``"numpy"`` always runs the
+        pinned engines.  ``"numba"`` / ``"cffi"`` / ``"python"`` force
+        a specific accel backend (warming it on demand) and raise
+        ``AccelUnavailableError`` when it cannot run here.  Results are
+        bit-identical across backends; the sharded fan-out resolves
+        ``"auto"`` in the parent and ships the concrete name to its
+        workers, which compile once per process.
     """
 
     mode: str = "auto"
@@ -80,11 +91,17 @@ class SearchParams:
     seed: int | None = None
     allowed_ids: Any = None
     rerank_factor: int | None = None
+    backend: str = "auto"
 
     def __post_init__(self) -> None:
         if self.mode not in ("auto", "greedy", "beam"):
             raise ValueError(
                 f"unknown search mode {self.mode!r}; use 'auto', 'greedy' or 'beam'"
+            )
+        if self.backend not in ("auto", "numpy", "numba", "cffi", "python"):
+            raise ValueError(
+                f"unknown backend {self.backend!r}; use 'auto', 'numpy', "
+                "'numba', 'cffi' or 'python'"
             )
         if self.beam_width is not None and self.beam_width < 1:
             raise ValueError("beam_width must be at least 1")

@@ -823,6 +823,16 @@ class ShardedIndex:
                 params, mode="greedy" if use_greedy else "beam"
             )
 
+        # Resolve backend="auto" HERE too: worker processes start with
+        # no warmed accel backend, so the parent's resolution (the best
+        # backend warmed in *this* process, else "numpy") is pickled
+        # into the task dicts as a concrete name — each worker then
+        # warms it once per process, reusing the on-disk kernel caches.
+        if params.backend == "auto":
+            from repro import accel
+
+            params = dataclasses.replace(params, backend=accel.get_backend())
+
         Q, single = self.shards[0]._normalize_queries(queries)
         m = len(Q)
         if self.workers > 1 and m > 0:
@@ -1071,6 +1081,9 @@ class ShardedIndex:
         storage["n"] = int(self.n)
         storage["drift"] = int(sum(s.store.drift for s in self.shards))
         out["storage"] = storage
+        from repro import accel
+
+        out["accel"] = accel.backend_status()
         return out
 
     def save(self, path: Any):

@@ -249,6 +249,7 @@ def measure_queries(
     ground_truth: tuple[np.ndarray, np.ndarray] | None = None,
     engine: str = "batch",
     seed: int | None = None,
+    backend: str | None = None,
 ) -> QueryStats:
     """Run greedy for each query and aggregate cost/quality.
 
@@ -264,7 +265,10 @@ def measure_queries(
     :func:`compute_ground_truth`); ``engine`` selects the lockstep batch
     engine (default) or the scalar per-query loop — their results are
     bit-identical.  An empty query batch aggregates to all-zero stats
-    instead of tripping numpy's empty reductions.
+    instead of tripping numpy's empty reductions.  ``backend`` threads
+    through to the batch engine (see ``SearchParams.backend``; ``None``
+    means ``"auto"``) — compiled backends return the same statistics
+    bit for bit.
     """
     if engine not in ("batch", "scalar"):
         raise ValueError(f"unknown engine {engine!r}; use 'batch' or 'scalar'")
@@ -286,7 +290,10 @@ def measure_queries(
         starts = gen.integers(graph.n, size=m)
 
     if engine == "batch":
-        results = greedy_batch(graph, dataset, starts, queries, budget=budget)
+        results = greedy_batch(
+            graph, dataset, starts, queries, budget=budget,
+            backend="auto" if backend is None else backend,
+        )
     else:
         results = [
             greedy(graph, dataset, int(start), q, budget=budget)

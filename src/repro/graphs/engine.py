@@ -91,6 +91,7 @@ def greedy_batch(
     budget: int | None = None,
     allowed: np.ndarray | None = None,
     store: Any = None,
+    backend: str | None = None,
 ) -> list[GreedyResult]:
     """Run ``greedy(starts[i], queries[i])`` for all ``i`` in lockstep.
 
@@ -111,6 +112,12 @@ def greedy_batch(
     ``store`` selects the :class:`~repro.storage.base.VectorStore` to
     traverse against (approximate distances over codes); ``None`` walks
     the exact flat path.
+
+    ``backend`` selects the traversal engine: ``None``/``"numpy"`` is
+    this pinned lockstep code; ``"auto"`` and explicit accel backend
+    names dispatch whole batches to :mod:`repro.accel` compiled kernels
+    (``"auto"`` silently stays here when no backend is warmed or the
+    workload has no compiled kernel).
     """
     m = len(queries)
     starts = np.asarray(starts, dtype=np.intp)
@@ -119,6 +126,23 @@ def greedy_batch(
     if m and (starts.min() < 0 or starts.max() >= graph.n):
         bad = starts[(starts < 0) | (starts >= graph.n)][0]
         raise ValueError(f"start vertex {int(bad)} out of range")
+    if allowed is not None:
+        allowed = np.asarray(allowed, dtype=bool)
+        if allowed.shape != (graph.n,):
+            raise ValueError("allowed mask must cover every vertex")
+    if backend is not None and backend != "numpy":
+        from repro import accel
+
+        resolved = accel.resolve_backend(backend)
+        if resolved != "numpy":
+            try:
+                return accel.run_greedy(
+                    resolved, graph, dataset, starts, queries,
+                    budget=budget, allowed=allowed, store=store,
+                )
+            except accel.UnsupportedWorkloadError:
+                if backend != "auto":
+                    raise
     offsets, targets = graph.csr()
     Q = _as_query_array(queries)
     view = _distance_view(dataset, Q, store)
@@ -137,9 +161,6 @@ def greedy_batch(
 
     # Best *allowed* vertex evaluated so far, per query (filter path).
     if allowed is not None:
-        allowed = np.asarray(allowed, dtype=bool)
-        if allowed.shape != (graph.n,):
-            raise ValueError("allowed mask must cover every vertex")
         best_p = np.where(allowed[starts], p_cur, -1)
         best_d = np.where(allowed[starts], d_cur, np.inf)
 
@@ -245,14 +266,19 @@ def greedy_batch(
 
 
 class _BeamState:
-    """Per-query beam bookkeeping for the lockstep rounds."""
+    """Per-query beam bookkeeping for the lockstep rounds.
 
-    __slots__ = ("candidates", "pool", "visited", "evals", "done")
+    Visited tracking lives outside the state, in the batch-shared
+    ``(m, n)`` bitmap — the same idiom :func:`construction_beam_batch`
+    uses — so the gather step is one vectorized row mask instead of a
+    per-neighbor Python ``set`` probe.
+    """
+
+    __slots__ = ("candidates", "pool", "evals", "done")
 
     def __init__(self, start: int, d0: float, admissible: bool = True):
         self.candidates: list[tuple[float, int]] = [(d0, start)]
         self.pool: list[tuple[float, int]] = [(-d0, start)] if admissible else []
-        self.visited: set[int] = {start}
         self.evals = 1
         self.done = False
 
@@ -267,6 +293,7 @@ def beam_search_batch(
     budget: int | None = None,
     allowed: np.ndarray | None = None,
     store: Any = None,
+    backend: str | None = None,
 ) -> list[tuple[list[tuple[int, float]], int]]:
     """Lockstep best-first beam search over a query batch.
 
@@ -288,6 +315,16 @@ def beam_search_batch(
     traverse against (approximate distances over codes; the two-stage
     search pipeline reranks the returned pool exactly); ``None`` walks
     the exact flat path.
+
+    ``backend`` selects the traversal engine: ``None``/``"numpy"`` is
+    this pinned lockstep code; ``"auto"`` and explicit accel backend
+    names dispatch whole batches to :mod:`repro.accel` compiled kernels
+    (``"auto"`` silently stays here when no backend is warmed or the
+    workload has no compiled kernel).
+
+    Visited tracking is a dense ``(m, n)`` bitmap shared with the
+    construction engine's idiom — memory is ``O(m * n)`` bits, sized
+    for driver-chunked query batches, not unbounded ones.
     """
     if beam_width < 1:
         raise ValueError("beam width must be at least 1")
@@ -300,6 +337,21 @@ def beam_search_batch(
         if allowed.shape != (graph.n,):
             raise ValueError("allowed mask must cover every vertex")
     graph.freeze()
+    if backend is not None and backend != "numpy":
+        from repro import accel
+
+        resolved = accel.resolve_backend(backend)
+        if resolved != "numpy":
+            try:
+                return accel.run_beam(
+                    resolved, graph, dataset, starts, queries,
+                    beam_width=beam_width, k=k, budget=budget,
+                    allowed=allowed, store=store,
+                )
+            except accel.UnsupportedWorkloadError:
+                if backend != "auto":
+                    raise
+    offsets, targets = graph.csr()
     Q = _as_query_array(queries)
     view = _distance_view(dataset, Q, store)
 
@@ -311,6 +363,14 @@ def beam_search_batch(
         )
         for i in range(m)
     ]
+
+    # Batch-shared visited bitmap, generationless: row i is query i's
+    # visited set (the construction engine's idiom, satellite-converged
+    # here from the former per-query Python set — bit-identical, the
+    # gather below preserves CSR slice order).
+    visited = np.zeros((m, graph.n), dtype=bool)
+    if m:
+        visited[np.arange(m), starts] = True
 
     live = list(range(m))
     while live:
@@ -326,10 +386,9 @@ def beam_search_batch(
             if len(st.pool) >= beam_width and d > -st.pool[0][0]:
                 st.done = True
                 continue
-            nbrs = [
-                int(v) for v in graph.out_neighbors(u) if int(v) not in st.visited
-            ]
-            if not nbrs:
+            row = targets[offsets[u] : offsets[u + 1]]
+            nbrs = row[~visited[i, row]]
+            if not len(nbrs):
                 next_live.append(i)  # pop the next candidate next round
                 continue
             if budget is not None and st.evals >= budget:
@@ -338,7 +397,7 @@ def beam_search_batch(
             if budget is not None and st.evals + len(nbrs) > budget:
                 nbrs = nbrs[: budget - st.evals]
             round_ids.append(i)
-            round_nbrs.append(np.array(nbrs, dtype=np.intp))
+            round_nbrs.append(nbrs)
             next_live.append(i)
 
         if round_ids:
@@ -354,8 +413,8 @@ def beam_search_batch(
                 seg = dists[pos : pos + len(arr)]
                 pos += len(arr)
                 st.evals += len(arr)
+                visited[i, arr] = True
                 for v, dv in zip(arr, seg):
-                    st.visited.add(int(v))
                     if len(st.pool) < beam_width or dv < -st.pool[0][0]:
                         heapq.heappush(st.candidates, (float(dv), int(v)))
                         if allowed is None or allowed[v]:

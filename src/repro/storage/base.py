@@ -101,6 +101,13 @@ class QueryDistanceView:
     Both report in the *metric's* units (normalization scale included),
     so engine semantics — budgets, tie-breaks, pool bounds — are
     storage-agnostic.
+
+    The view is also the **bit-identity oracle** of the compiled accel
+    backends (:mod:`repro.accel`): a compiled traversal makes its
+    routing decisions in kernel arithmetic but re-evaluates every
+    *reported* distance through :meth:`segmented` (and seeds start
+    vertices from :meth:`scalar`), so whatever floats a view produces
+    are the floats every backend returns.
     """
 
     def scalar(self, qi: int, v: int) -> float:

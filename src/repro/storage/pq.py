@@ -269,7 +269,9 @@ class PQStore(VectorStore):
         _adc_mode(metric)  # fail fast on unsupported metrics
         self.metric = metric
         self.params = params
-        self._codes = codes
+        # Kernel-layout contract: C-contiguous uint8 codes, zero-copy
+        # consumable by the compiled accel ADC kernels (mirrors SQ8Store).
+        self._codes = np.ascontiguousarray(codes, dtype=np.uint8)
         self.options = dict(options or {})
         self.drift = int(drift)
         self.trained_on = int(trained_on if trained_on is not None else len(codes))
@@ -321,6 +323,8 @@ class PQStore(VectorStore):
 
     @property
     def codes(self) -> np.ndarray:
+        """The ``(n, m)`` uint8 code matrix, C-contiguous (the layout
+        the compiled accel ADC kernels consume without copying)."""
         return self._codes
 
     def param_arrays(self) -> dict[str, np.ndarray]:

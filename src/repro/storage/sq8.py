@@ -127,7 +127,11 @@ class SQ8Store(VectorStore):
     ):
         self.metric = metric
         self.params = params
-        self._codes = codes
+        # Kernel-layout contract: the code matrix is always C-contiguous
+        # uint8, so the compiled accel backends can hand it to their
+        # kernels as a zero-copy view (persistence and callers may pass
+        # slices or otherwise non-contiguous arrays).
+        self._codes = np.ascontiguousarray(codes, dtype=np.uint8)
         self.options = dict(options or {})
         self.drift = int(drift)
         self.trained_on = int(trained_on if trained_on is not None else len(codes))
@@ -180,6 +184,8 @@ class SQ8Store(VectorStore):
 
     @property
     def codes(self) -> np.ndarray:
+        """The ``(n, d)`` uint8 code matrix, C-contiguous (the layout
+        the compiled accel kernels consume without copying)."""
         return self._codes
 
     def param_arrays(self) -> dict[str, np.ndarray]:
