@@ -17,6 +17,7 @@ graphs from the shell.
     python -m repro search index_dir --queries-file queries.npy --k 10 --workers 4
     python -m repro index info index.npz
     python -m repro bench-storage points.npy --method vamana
+    python -m repro serve  index.npz --port 8080 --max-batch 64
     python -m repro add    index.npz points.npy
     python -m repro delete index.npz --ids 3 17 29 --compact
     python -m repro builders
@@ -487,6 +488,29 @@ def _cmd_bench_storage(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Serve a saved index over HTTP with micro-batched search."""
+    import asyncio
+
+    from repro.serve import IndexHolder, SearchServer
+
+    index = load_any(args.index)
+    if args.workers is not None and isinstance(index, ShardedIndex):
+        index.workers = args.workers
+    server = SearchServer(
+        IndexHolder(index),
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        cache_size=args.cache_size,
+        search_workers=args.search_workers,
+    )
+    try:
+        asyncio.run(server.serve_forever(args.host, args.port))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def _cmd_bench_build(args: argparse.Namespace) -> int:
     """Sequential vs batched build of one insertion-based builder:
     wall-clock build time plus recall of both graphs on one workload.
@@ -695,6 +719,26 @@ def _parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default=None,
                    help="write here instead of overwriting the index")
     p.set_defaults(fn=_cmd_delete)
+
+    p = sub.add_parser(
+        "serve",
+        help="serve a saved index over HTTP (coalesced micro-batching; "
+        "POST /search /add /delete, GET /healthz /stats)",
+    )
+    p.add_argument("index", help="saved index (.npz file or manifest dir)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8080)
+    p.add_argument("--max-batch", type=int, default=64,
+                   help="flush a coalescing bucket at this many requests")
+    p.add_argument("--max-wait-ms", type=float, default=2.0,
+                   help="longest a lone request waits for batch-mates")
+    p.add_argument("--cache-size", type=int, default=1024,
+                   help="LRU query-cache entries (0 disables)")
+    p.add_argument("--search-workers", type=int, default=2,
+                   help="threads running coalesced search batches")
+    p.add_argument("--workers", type=int, default=None,
+                   help="fan-out worker processes (sharded indexes only)")
+    p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser("query", help="greedy (1+eps)-ANN query")
     p.add_argument("points")

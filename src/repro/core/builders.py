@@ -12,8 +12,9 @@ artifacts (parameters, net hierarchy, jackpot mask, ...).
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any, Callable, Iterable
 
 import numpy as np
 
@@ -31,10 +32,13 @@ from repro.metrics.base import Dataset
 __all__ = [
     "BuiltGraph",
     "BUILDERS",
+    "BUILDER_OPTIONS",
     "BATCHED_BUILDERS",
     "build",
     "available_builders",
+    "builder_options",
     "register_builder",
+    "validate_builder_options",
 ]
 
 
@@ -57,12 +61,51 @@ class BuiltGraph:
 BuilderFn = Callable[..., BuiltGraph]
 BUILDERS: dict[str, BuilderFn] = {}
 
+# Per-builder allow-list of ``**options`` keyword names, or ``None`` for
+# builders registered without a declaration (no validation — an escape
+# hatch for external registrations).  Populated by ``register_builder``
+# from the *delegate* signatures (``build_gnet``, ``VamanaIndex``, ...),
+# so the front-door check can never drift from what the builder accepts.
+BUILDER_OPTIONS: dict[str, frozenset[str] | None] = {}
 
-def register_builder(name: str) -> Callable[[BuilderFn], BuilderFn]:
+# Parameters every builder receives positionally from build(); they are
+# never valid **options keywords.
+_RESERVED_PARAMS = frozenset({"self", "dataset", "epsilon", "rng"})
+
+
+def register_builder(
+    name: str,
+    *,
+    options_from: Iterable[Callable] | None = None,
+    extra_options: Iterable[str] = (),
+) -> Callable[[BuilderFn], BuilderFn]:
+    """Register a builder, declaring which ``**options`` it accepts.
+
+    ``options_from`` lists the callables the builder forwards its
+    options to (their keyword parameters, minus the reserved
+    dataset/epsilon/rng slots, become the allow-list); ``extra_options``
+    adds names the wrapper itself pops.  Leaving both unset registers
+    the builder *unvalidated* — any option passes through, and a typo
+    surfaces as the delegate's own ``TypeError``.
+    """
+
     def decorate(fn: BuilderFn) -> BuilderFn:
         if name in BUILDERS:
             raise ValueError(f"builder {name!r} already registered")
         BUILDERS[name] = fn
+        if options_from is None and not extra_options:
+            BUILDER_OPTIONS[name] = None
+            return fn
+        allowed = set(extra_options)
+        for target in options_from or ():
+            for pname, p in inspect.signature(target).parameters.items():
+                if pname in _RESERVED_PARAMS or p.kind in (
+                    inspect.Parameter.VAR_POSITIONAL,
+                    inspect.Parameter.VAR_KEYWORD,
+                ):
+                    continue
+                allowed.add(pname)
+        BUILDER_OPTIONS[name] = frozenset(allowed)
         return fn
 
     return decorate
@@ -70,6 +113,49 @@ def register_builder(name: str) -> Callable[[BuilderFn], BuilderFn]:
 
 def available_builders() -> list[str]:
     return sorted(BUILDERS)
+
+
+def builder_options(name: str) -> list[str] | None:
+    """The valid ``**options`` names of builder ``name`` (sorted), or
+    ``None`` when the builder was registered without a declaration."""
+    if name not in BUILDERS:
+        raise ValueError(f"unknown builder {name!r}; have {available_builders()}")
+    allowed = BUILDER_OPTIONS.get(name)
+    return sorted(allowed) if allowed is not None else None
+
+
+def validate_builder_options(name: str, options: dict[str, Any]) -> None:
+    """Front-door validation of a prospective ``build(name, **options)``.
+
+    Raises a ``ValueError`` naming the offending keyword(s), the
+    builder's valid options, and the registered builder names — instead
+    of the confusing deep ``TypeError`` (``build_gnet() got an
+    unexpected keyword argument ...``) a typo used to surface as, often
+    only *after* an expensive normalization pass.  Cheap and data-free,
+    so callers run it before any heavy work.
+    """
+    if name not in BUILDERS:
+        raise ValueError(f"unknown builder {name!r}; have {available_builders()}")
+    if "batch_size" in options and name not in BATCHED_BUILDERS:
+        raise ValueError(
+            f"builder {name!r} does not support batched construction; "
+            f"batch_size applies to {sorted(BATCHED_BUILDERS)}"
+        )
+    allowed = BUILDER_OPTIONS.get(name)
+    if allowed is None:
+        return
+    unknown = sorted(set(options) - set(allowed))
+    if unknown:
+        accepts = (
+            f"valid options for {name!r}: {sorted(allowed)}"
+            if allowed
+            else f"builder {name!r} takes no options"
+        )
+        raise ValueError(
+            f"unknown build option(s) {unknown} for builder {name!r}; "
+            f"{accepts}.  Select the construction itself with "
+            f"method=<one of {available_builders()}>"
+        )
 
 
 # Builders with an insertion loop the batched construction engine
@@ -110,6 +196,7 @@ def build(
                 f"batch_size applies to {sorted(BATCHED_BUILDERS)}"
             )
         options["batch_size"] = batch_size
+    validate_builder_options(name, options)
     built = BUILDERS[name](
         dataset=dataset,
         epsilon=epsilon,
@@ -128,7 +215,7 @@ def build(
 # ----------------------------------------------------------------------
 
 
-@register_builder("gnet")
+@register_builder("gnet", options_from=(build_gnet,))
 def _build_gnet(
     dataset: Dataset, epsilon: float, rng: np.random.Generator, **options: Any
 ) -> BuiltGraph:
@@ -148,7 +235,7 @@ def _build_gnet(
     )
 
 
-@register_builder("theta")
+@register_builder("theta", options_from=(build_theta_graph,))
 def _build_theta(
     dataset: Dataset, epsilon: float, rng: np.random.Generator, **options: Any
 ) -> BuiltGraph:
@@ -165,7 +252,7 @@ def _build_theta(
     )
 
 
-@register_builder("merged")
+@register_builder("merged", options_from=(build_merged_graph,))
 def _build_merged(
     dataset: Dataset, epsilon: float, rng: np.random.Generator, **options: Any
 ) -> BuiltGraph:
@@ -192,7 +279,7 @@ def _build_merged(
 # ----------------------------------------------------------------------
 
 
-@register_builder("diskann")
+@register_builder("diskann", options_from=(build_diskann_slow,))
 def _build_diskann(
     dataset: Dataset, epsilon: float, rng: np.random.Generator, **options: Any
 ) -> BuiltGraph:
@@ -208,7 +295,7 @@ def _build_diskann(
     )
 
 
-@register_builder("hnsw")
+@register_builder("hnsw", options_from=(HNSWIndex,))
 def _build_hnsw(
     dataset: Dataset, epsilon: float, rng: np.random.Generator, **options: Any
 ) -> BuiltGraph:
@@ -224,7 +311,7 @@ def _build_hnsw(
     )
 
 
-@register_builder("nsw")
+@register_builder("nsw", options_from=(NSWIndex,))
 def _build_nsw(
     dataset: Dataset, epsilon: float, rng: np.random.Generator, **options: Any
 ) -> BuiltGraph:
@@ -240,7 +327,7 @@ def _build_nsw(
     )
 
 
-@register_builder("vamana")
+@register_builder("vamana", options_from=(VamanaIndex,))
 def _build_vamana(
     dataset: Dataset, epsilon: float, rng: np.random.Generator, **options: Any
 ) -> BuiltGraph:
@@ -257,7 +344,7 @@ def _build_vamana(
     )
 
 
-@register_builder("knn")
+@register_builder("knn", options_from=(), extra_options=("k",))
 def _build_knn(
     dataset: Dataset, epsilon: float, rng: np.random.Generator, **options: Any
 ) -> BuiltGraph:
@@ -272,7 +359,7 @@ def _build_knn(
     )
 
 
-@register_builder("complete")
+@register_builder("complete", options_from=())
 def _build_complete(
     dataset: Dataset, epsilon: float, rng: np.random.Generator, **options: Any
 ) -> BuiltGraph:

@@ -37,7 +37,7 @@ from typing import Any, Sequence
 
 import numpy as np
 
-from repro.core.builders import BuiltGraph, build
+from repro.core.builders import BuiltGraph, build, validate_builder_options
 from repro.core.search import IdMap, SearchParams, SearchResult
 from repro.core.stats import QueryStats, measure_queries
 from repro.graphs.base import ProximityGraph
@@ -175,6 +175,10 @@ class ProximityGraphIndex:
         :func:`repro.core.builders.build`) pass through to the builder.
         """
         rng = np.random.default_rng(seed)
+        # Fail fast on an unknown builder or a misspelled build option
+        # (e.g. builder= instead of method=), BEFORE the O(n^2)
+        # normalization pass and the graph build.
+        validate_builder_options(method, options)
         if metric is None:
             points = np.asarray(points, dtype=np.float64)
             metric = EuclideanMetric()
@@ -256,6 +260,29 @@ class ProximityGraphIndex:
             return arr[None] if rank else arr.reshape(1), True
         return arr, False
 
+    def validate_queries(self, Q: Any) -> None:
+        """Front-door input validation of a canonicalized query batch.
+
+        Coordinate indexes reject what a network-facing caller will send
+        first: queries of the wrong dimensionality (previously a raw
+        numpy broadcast error from deep inside the engine) and
+        non-finite queries (NaN/inf previously traversed silently and
+        returned arbitrary ids with NaN distances).  Abstract-metric
+        indexes (object points, id-based metrics) pass through — there
+        is no coordinate shape to check.
+        """
+        arr = np.asarray(Q)
+        if arr.dtype == object or arr.size == 0:
+            return
+        pts = np.asarray(self.dataset.points)
+        if pts.ndim == 2 and arr.ndim == 2 and arr.shape[1] != pts.shape[1]:
+            raise ValueError(
+                f"query dim {arr.shape[1]} does not match index dim "
+                f"{pts.shape[1]}"
+            )
+        if np.issubdtype(arr.dtype, np.floating) and not np.isfinite(arr).all():
+            raise ValueError("query contains non-finite values")
+
     def _allowed_mask(self, params: SearchParams) -> np.ndarray | None:
         """Combined tombstone + filter mask, or ``None`` when inactive."""
         if params.allowed_ids is None:
@@ -300,6 +327,7 @@ class ProximityGraphIndex:
         if params is None:
             params = SearchParams()
         Q, single = self._normalize_queries(queries)
+        self.validate_queries(Q)
         m = len(Q)
         allowed = self._allowed_mask(params)
 
@@ -654,6 +682,43 @@ class ProximityGraphIndex:
             self.dataset, self.seed if seed is None else seed
         )
         return self
+
+    def snapshot(self) -> "ProximityGraphIndex":
+        """A mutation-isolated copy sharing the immutable bulk data.
+
+        The copy shares the (never mutated in place) heavy arrays —
+        points, graph CSR, quantized codes — but owns every container a
+        mutation writes through: the :class:`BuiltGraph` wrapper (whose
+        ``graph``/``backend``/``meta`` attributes ``add`` rebinds), the
+        ``meta``/``options`` dicts, the id map, the tombstone mask, and
+        the vector store.  ``add``/``delete``/``compact`` on either side
+        are invisible to the other, which is what the serving layer's
+        copy-mutate-swap writer relies on: readers keep traversing the
+        old object while the writer grows the snapshot.
+
+        Any online-insertion net (``mode="dynamic"`` state) is *not*
+        carried over — the first dynamic add on the snapshot re-upgrades
+        from its own collection, so the guarantee story is unchanged.
+        """
+        built = BuiltGraph(
+            name=self.built.name,
+            graph=self.built.graph,
+            epsilon=self.built.epsilon,
+            guaranteed=self.built.guaranteed,
+            meta=dict(self.built.meta),
+            backend=self.built.backend,
+            options=dict(self.built.options),
+        )
+        return ProximityGraphIndex(
+            dataset=self.dataset,
+            built=built,
+            scale=self.scale,
+            rng=np.random.default_rng(self.seed),
+            seed=self.seed,
+            id_map=self.id_map.clone(),
+            tombstones=self._tombstones,  # the constructor copies
+            store=self.store.clone(),
+        )
 
     def set_storage(
         self, kind: str, seed: int | None = None, **options: Any

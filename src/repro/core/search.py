@@ -286,3 +286,12 @@ class IdMap:
         out = IdMap(kept)
         out._next = self._next  # never recycle a previously assigned id
         return out
+
+    def clone(self) -> "IdMap":
+        """An independent copy; :meth:`assign` on one never touches the
+        other (the snapshot-isolation hook of ``index.snapshot()``)."""
+        out = IdMap.__new__(IdMap)
+        out._ext = self._ext.copy()
+        out._int = dict(self._int)
+        out._next = self._next
+        return out

@@ -58,7 +58,12 @@ from typing import Any, Sequence
 
 import numpy as np
 
-from repro.core.builders import BATCHED_BUILDERS, BuiltGraph, build
+from repro.core.builders import (
+    BATCHED_BUILDERS,
+    BuiltGraph,
+    build,
+    validate_builder_options,
+)
 from repro.core.index import ProximityGraphIndex
 from repro.core.search import IdMap, SearchParams, SearchResult
 from repro.graphs.base import ProximityGraph
@@ -481,6 +486,11 @@ class ShardedIndex:
         second :class:`~repro.metrics.arena.SharedArena`, so fan-out
         search workers attach to the compressed shards zero-copy.
         """
+        # Fail fast on an unknown builder or misspelled build option —
+        # BEFORE partitioning and the (potentially multi-process,
+        # minutes-long) graph build; a typo must never surface as a
+        # worker-process TypeError.
+        validate_builder_options(method, options)
         if metric is None:
             points = np.asarray(points, dtype=np.float64)
             metric = EuclideanMetric()
@@ -656,6 +666,11 @@ class ShardedIndex:
     # ------------------------------------------------------------------
     # Search: fan out, merge top-k
     # ------------------------------------------------------------------
+
+    def validate_queries(self, Q: Any) -> None:
+        """Same front-door check as the flat index (dimension match,
+        finite values); see :meth:`ProximityGraphIndex.validate_queries`."""
+        self.shards[0].validate_queries(Q)
 
     def _shard_key(self, j: int) -> tuple:
         return (self._token, self._generation, j)
@@ -834,6 +849,9 @@ class ShardedIndex:
             params = dataclasses.replace(params, backend=accel.get_backend())
 
         Q, single = self.shards[0]._normalize_queries(queries)
+        # Validate HERE, before the fan-out: a malformed query must be a
+        # front-door ValueError, never a worker-process crash.
+        self.shards[0].validate_queries(Q)
         m = len(Q)
         if self.workers > 1 and m > 0:
             tasks = [
@@ -1046,6 +1064,40 @@ class ShardedIndex:
         self._owner = {e: j for e, j in self._owner.items() if e in survivors}
         self._bump_generation()
         return self
+
+    def snapshot(self) -> "ShardedIndex":
+        """A mutation-isolated copy that owns its own (arena-free) memory.
+
+        Each shard is snapshotted like the flat index (shared immutable
+        arrays, private mutation containers) — but any shard whose
+        points or codes are still *views into this index's shared-memory
+        arenas* gets them copied into private arrays first: the original
+        index unlinks its arenas on :meth:`close` (or garbage
+        collection), which would invalidate every view a longer-lived
+        snapshot still holds.  The copy therefore starts arena-free and
+        with no worker pool; fan-out search lazily spawns its own pool
+        and ships the (now inline) shard payloads, exactly like any
+        post-mutation shard.
+        """
+        shards = []
+        for j, shard in enumerate(self.shards):
+            snap = shard.snapshot()
+            if self._shard_arena_backed(j):
+                pts = np.array(np.asarray(snap.dataset.points), copy=True)
+                snap.dataset = Dataset(snap.dataset.metric, pts)
+                if not snap.store.is_quantized:
+                    snap.store = FlatStore(snap.dataset.metric, pts)
+            snap.store.detach()
+            shards.append(snap)
+        return ShardedIndex(
+            shards,
+            seed=self.seed,
+            workers=self.workers,
+            assignment=self.assignment,
+            arena=None,
+            next_id=self._next,
+            search_chunk=self.search_chunk,
+        )
 
     # ------------------------------------------------------------------
 

@@ -1,0 +1,75 @@
+"""An exact-match LRU over search responses.
+
+Keys are ``(query bytes, shape, BatchKey, index generation)`` — byte
+equality, not nearness: the cache only ever answers a repeat of the
+*identical* request, so it can never change a result, only skip the
+traversal.  The index generation in the key makes every mutation an
+implicit full invalidation (a swapped index may answer differently;
+stale entries simply stop being reachable and age out of the LRU).
+
+All access happens on the event-loop thread, so there is no lock; the
+structure is a plain ``OrderedDict`` moved-to-end on hit.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Hashable
+
+import numpy as np
+
+__all__ = ["QueryCache"]
+
+
+class QueryCache:
+    """LRU of ``capacity`` entries with hit/miss counters.
+
+    ``capacity=0`` disables caching (every :meth:`get` misses, `put`
+    drops) — the serving layer still works, just uncached.
+    """
+
+    def __init__(self, capacity: int = 1024):
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        self.capacity = int(capacity)
+        self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def key(query: np.ndarray, batch_key: Any, generation: int) -> Hashable:
+        arr = np.ascontiguousarray(query, dtype=np.float64)
+        return (arr.tobytes(), arr.shape, batch_key, generation)
+
+    def get(self, key: Hashable) -> Any | None:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: Hashable, value: Any) -> None:
+        if self.capacity == 0:
+            return
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def summary(self) -> dict[str, Any]:
+        total = self.hits + self.misses
+        return {
+            "capacity": self.capacity,
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": round(self.hits / total, 4) if total else 0.0,
+        }

@@ -37,6 +37,7 @@ exact-distance pass, and reported distances are always exact.
 
 from __future__ import annotations
 
+import copy
 from abc import ABC, abstractmethod
 from typing import Any
 
@@ -232,6 +233,33 @@ class VectorStore(ABC):
         return out
 
     # ------------------------------------------------------------------
+
+    def clone(self) -> "VectorStore":
+        """A shallow copy whose lifecycle is independent of this store's.
+
+        Valid because stores follow a rebind discipline: ``refresh()``
+        *rebinds* attributes (``self._codes = concatenate(...)``) and
+        never writes into an existing array, so a shallow copy shares
+        immutable arrays safely.  Mutable per-instance containers
+        (``options``) are copied.  This is the snapshot-isolation hook
+        of ``ProximityGraphIndex.snapshot()``.
+        """
+        out = copy.copy(self)
+        out.options = dict(self.options)
+        return out
+
+    def detach(self) -> "VectorStore":
+        """Copy any view-backed code matrix into private memory.
+
+        A sharded index keeps per-shard codes as views into a
+        shared-memory arena that is unlinked when that index closes; a
+        snapshot that outlives it must own its arrays.  Returns ``self``.
+        """
+        codes = self.codes
+        if codes is not None and codes.base is not None:
+            # Every code-holding store keeps its matrix in ``_codes``.
+            self._codes = codes.copy()  # type: ignore[attr-defined]
+        return self
 
     def summary(self) -> dict[str, Any]:
         """JSON-safe stats()-style summary."""

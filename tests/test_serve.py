@@ -1,0 +1,496 @@
+"""The serving layer: snapshot isolation, coalescing, cache, HTTP e2e.
+
+Driven with ``asyncio.run()`` directly (no pytest-asyncio in the
+toolchain); the HTTP end-to-end tests bind an ephemeral port and talk
+real sockets through ``urllib`` on executor threads.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import gc
+import json
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro import ProximityGraphIndex, ShardedIndex
+from repro.serve import BatchKey, Coalescer, IndexHolder, QueryCache, SearchServer
+from repro.workloads import uniform_cube
+
+
+def _flat(n: int = 90, seed: int = 2) -> ProximityGraphIndex:
+    pts = uniform_cube(n, 4, np.random.default_rng(seed))
+    return ProximityGraphIndex.build(pts, epsilon=1.0, method="vamana", seed=seed)
+
+
+# ----------------------------------------------------------------------
+# Snapshot isolation (the core/index + core/sharded hooks)
+# ----------------------------------------------------------------------
+
+
+class TestSnapshot:
+    def test_mutating_snapshot_leaves_original_untouched(self):
+        index = _flat()
+        q = np.full(4, 0.5)
+        before = index.search(q, k=5)
+        snap = index.snapshot()
+        snap.add(np.random.default_rng(7).uniform(size=(6, 4)))
+        snap.delete([0, 1])
+        after = index.search(q, k=5)
+        assert np.array_equal(before.ids, after.ids)
+        assert np.array_equal(before.distances, after.distances)
+        assert index.active_count == 90 and snap.active_count == 94
+
+    def test_mutating_original_leaves_snapshot_untouched(self):
+        index = _flat()
+        snap = index.snapshot()
+        index.delete([2])
+        index.add(np.random.default_rng(8).uniform(size=(3, 4)))
+        assert snap.active_count == 90
+        assert snap.tombstone_count == 0
+
+    def test_snapshot_ids_are_independent(self):
+        index = _flat(n=30)
+        snap = index.snapshot()
+        a = snap.add(np.random.default_rng(1).uniform(size=(2, 4)))
+        b = index.add(np.random.default_rng(1).uniform(size=(2, 4)))
+        # Both continue from the same next id — independently.
+        assert a.tolist() == b.tolist() == [30, 31]
+
+    def test_snapshot_compact_does_not_disturb_original(self):
+        index = _flat(n=40)
+        index.delete([0, 1, 2])
+        snap = index.snapshot()
+        snap.compact()
+        assert snap.tombstone_count == 0 and snap.n == 37
+        assert index.tombstone_count == 3 and index.n == 40
+
+    @pytest.mark.parametrize("storage", ["sq8", "pq"])
+    def test_quantized_snapshot_refresh_is_isolated(self, storage):
+        pts = uniform_cube(80, 4, np.random.default_rng(5))
+        index = ProximityGraphIndex.build(
+            pts, epsilon=1.0, method="vamana", seed=5, storage=storage
+        )
+        snap = index.snapshot()
+        snap.add(np.random.default_rng(6).uniform(size=(4, 4)))
+        assert index.store.n == 80 and snap.store.n == 84
+        assert index.store.drift == 0 and snap.store.drift == 4
+
+    def test_sharded_snapshot_survives_arena_unlink(self):
+        pts = uniform_cube(100, 4, np.random.default_rng(9))
+        sharded = ShardedIndex.build(
+            pts, epsilon=1.0, method="knn", k=6, seed=9, shards=2, workers=2
+        )
+        q = pts[:5]
+        snap = sharded.snapshot()
+        expect = snap.search(q, k=3)
+        sharded.close()
+        del sharded
+        gc.collect()
+        # The snapshot detached from the shared-memory arena, so it
+        # keeps answering after the original unlinked it.
+        got = snap.search(q, k=3)
+        assert np.array_equal(expect.ids, got.ids)
+        snap.add(np.random.default_rng(1).uniform(size=(2, 4)))
+        snap.close()
+
+    def test_sharded_snapshot_isolation(self):
+        pts = uniform_cube(60, 4, np.random.default_rng(4))
+        sharded = ShardedIndex.build(
+            pts, epsilon=1.0, method="knn", k=6, seed=4, shards=2
+        )
+        snap = sharded.snapshot()
+        snap.delete([0, 1, 2])
+        assert sharded.tombstone_count == 0 and snap.tombstone_count == 3
+        sharded.close()
+        snap.close()
+
+
+class TestIndexHolder:
+    def test_mutate_swaps_and_bumps_generation(self):
+        index = _flat(n=40)
+        holder = IndexHolder(index)
+        assert holder.generation == 0
+        holder.delete([0])
+        assert holder.generation == 1
+        assert holder.current is not index  # swapped, not mutated
+        assert index.tombstone_count == 0
+        assert holder.current.tombstone_count == 1
+
+    def test_failed_mutation_swaps_nothing(self):
+        index = _flat(n=40)
+        holder = IndexHolder(index)
+        with pytest.raises(KeyError):
+            holder.delete([99999])
+        assert holder.generation == 0
+        assert holder.current is index
+
+    def test_reader_keeps_its_pinned_object(self):
+        holder = IndexHolder(_flat(n=40))
+        pinned, gen = holder.state
+        holder.add(np.random.default_rng(0).uniform(size=(1, 4)))
+        assert holder.generation == gen + 1
+        assert pinned.n == 40  # the pinned object never changed
+
+
+# ----------------------------------------------------------------------
+# Coalescer
+# ----------------------------------------------------------------------
+
+
+class TestCoalescer:
+    def test_compatible_requests_share_one_batch(self):
+        index = _flat()
+        holder = IndexHolder(index)
+
+        async def run():
+            coalescer = Coalescer(holder, max_batch=64, max_wait_ms=20.0)
+            try:
+                Q = uniform_cube(10, 4, np.random.default_rng(3))
+                key = BatchKey(k=3)
+                rows = await asyncio.gather(
+                    *[coalescer.submit(q, key) for q in Q]
+                )
+                return Q, rows, coalescer.stats.summary()
+            finally:
+                coalescer.close()
+
+        Q, rows, stats = asyncio.run(run())
+        assert stats["batches"] == 1
+        assert stats["max_batch_size"] == 10
+        assert all(r.batch_size == 10 for r in rows)
+        # Scattered rows ARE the batch result: identical to calling the
+        # engine with the same stacked batch directly.  The coalescer
+        # seeds each dispatch with its batch sequence number (the first
+        # dispatched batch gets seed=1), so replay with that seed.
+        direct = index.search(Q, k=3, params=BatchKey(k=3).params(seed=1))
+        for i, row in enumerate(rows):
+            assert np.array_equal(row.ids, direct.ids[i])
+            assert np.array_equal(row.distances, direct.distances[i])
+
+    def test_incompatible_keys_never_share(self):
+        holder = IndexHolder(_flat())
+
+        async def run():
+            coalescer = Coalescer(holder, max_batch=64, max_wait_ms=10.0)
+            try:
+                q = np.full(4, 0.5)
+                await asyncio.gather(
+                    coalescer.submit(q, BatchKey(k=1)),
+                    coalescer.submit(q, BatchKey(k=3)),
+                    coalescer.submit(q, BatchKey(k=3, beam_width=32)),
+                )
+                return coalescer.stats.summary()
+            finally:
+                coalescer.close()
+
+        stats = asyncio.run(run())
+        assert stats["batches"] == 3
+        assert stats["max_batch_size"] == 1
+
+    def test_max_batch_flushes_immediately(self):
+        holder = IndexHolder(_flat())
+
+        async def run():
+            # A long tick: only the size trigger can flush in time.
+            coalescer = Coalescer(holder, max_batch=4, max_wait_ms=5000.0)
+            try:
+                Q = uniform_cube(8, 4, np.random.default_rng(1))
+                key = BatchKey(k=2)
+                rows = await asyncio.wait_for(
+                    asyncio.gather(*[coalescer.submit(q, key) for q in Q]),
+                    timeout=10.0,
+                )
+                return rows, coalescer.stats.summary()
+            finally:
+                coalescer.close()
+
+        rows, stats = asyncio.run(run())
+        assert stats["batches"] == 2
+        assert stats["batch_size_counts"] == {"4": 2}
+        assert all(r.batch_size == 4 for r in rows)
+
+    def test_search_error_reaches_every_future(self):
+        holder = IndexHolder(_flat())
+
+        async def run():
+            coalescer = Coalescer(holder, max_batch=64, max_wait_ms=5.0)
+            try:
+                # Bypass front-door validation to force an engine error
+                # inside the dispatched batch (the HTTP layer prevents
+                # this by validating before submit).
+                bad = np.full(4, np.nan)
+                futures = [
+                    coalescer.submit(bad, BatchKey(k=1)),
+                    coalescer.submit(np.full(4, 0.5), BatchKey(k=1)),
+                ]
+                results = await asyncio.gather(*futures, return_exceptions=True)
+                return results, coalescer.stats.summary()
+            finally:
+                coalescer.close()
+
+        results, stats = asyncio.run(run())
+        assert all(isinstance(r, ValueError) for r in results)
+        assert stats["errors"] == 1
+
+
+# ----------------------------------------------------------------------
+# Query cache
+# ----------------------------------------------------------------------
+
+
+class TestQueryCache:
+    def test_hit_miss_counters(self):
+        cache = QueryCache(capacity=8)
+        q = np.array([1.0, 2.0])
+        k = QueryCache.key(q, BatchKey(k=3), generation=0)
+        assert cache.get(k) is None
+        cache.put(k, {"ids": [1]})
+        assert cache.get(k) == {"ids": [1]}
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_generation_in_key_invalidates_on_swap(self):
+        cache = QueryCache(capacity=8)
+        q = np.array([1.0, 2.0])
+        cache.put(QueryCache.key(q, BatchKey(), 0), "old")
+        assert cache.get(QueryCache.key(q, BatchKey(), 1)) is None
+
+    def test_lru_evicts_oldest(self):
+        cache = QueryCache(capacity=2)
+        keys = [
+            QueryCache.key(np.array([float(i)]), BatchKey(), 0) for i in range(3)
+        ]
+        cache.put(keys[0], 0)
+        cache.put(keys[1], 1)
+        assert cache.get(keys[0]) == 0  # freshen 0; 1 is now oldest
+        cache.put(keys[2], 2)
+        assert cache.get(keys[1]) is None
+        assert cache.get(keys[0]) == 0 and cache.get(keys[2]) == 2
+
+    def test_zero_capacity_disables(self):
+        cache = QueryCache(capacity=0)
+        k = QueryCache.key(np.array([1.0]), BatchKey(), 0)
+        cache.put(k, "x")
+        assert cache.get(k) is None
+        assert len(cache) == 0
+
+    def test_params_distinguish_entries(self):
+        cache = QueryCache(capacity=8)
+        q = np.array([1.0])
+        cache.put(QueryCache.key(q, BatchKey(k=1), 0), "k1")
+        assert cache.get(QueryCache.key(q, BatchKey(k=2), 0)) is None
+
+
+# ----------------------------------------------------------------------
+# HTTP end to end
+# ----------------------------------------------------------------------
+
+
+def _fetch(base: str, path: str, body=None):
+    data = json.dumps(body).encode() if body is not None else None
+    request = urllib.request.Request(
+        base + path, data=data, headers={"Content-Type": "application/json"}
+    )
+    with urllib.request.urlopen(request, timeout=30) as resp:
+        return resp.status, json.loads(resp.read())
+
+
+def _serve_test(coro_fn, index=None, **server_kw):
+    """Run ``coro_fn(base_url, server)`` against a live server."""
+
+    async def run():
+        holder = IndexHolder(index if index is not None else _flat())
+        server = SearchServer(holder, **server_kw)
+        host, port = await server.start("127.0.0.1", 0)
+        try:
+            return await coro_fn(f"http://{host}:{port}", server)
+        finally:
+            await server.stop()
+
+    return asyncio.run(run())
+
+
+async def _afetch(base, path, body=None):
+    return await asyncio.get_running_loop().run_in_executor(
+        None, _fetch, base, path, body
+    )
+
+
+class TestHTTP:
+    def test_healthz(self):
+        async def go(base, _server):
+            return await _afetch(base, "/healthz")
+
+        status, body = _serve_test(go)
+        assert status == 200
+        assert body["status"] == "ok" and body["n"] == 90
+
+    def test_concurrent_searches_coalesce_and_match_direct(self):
+        index = _flat()
+        Q = uniform_cube(12, 4, np.random.default_rng(11))
+
+        async def go(base, _server):
+            results = await asyncio.gather(
+                *[
+                    _afetch(base, "/search", {"query": q.tolist(), "k": 3})
+                    for q in Q
+                ]
+            )
+            _, stats = await _afetch(base, "/stats")
+            return results, stats
+
+        results, stats = _serve_test(go, index=index, max_wait_ms=25.0)
+        assert all(status == 200 for status, _ in results)
+        assert stats["coalescer"]["max_batch_size"] > 1
+        # Recall parity with a direct batch call: same ids whenever the
+        # server coalesced the full set into one dispatch; at minimum
+        # every response is a valid k=3 row.
+        for _, body in results:
+            assert len(body["ids"]) == 3
+            assert all(v >= 0 for v in body["ids"])
+
+    def test_cache_hit_on_identical_request(self):
+        async def go(base, _server):
+            q = {"query": [0.5, 0.5, 0.5, 0.5], "k": 2}
+            _, first = await _afetch(base, "/search", q)
+            _, second = await _afetch(base, "/search", q)
+            _, stats = await _afetch(base, "/stats")
+            return first, second, stats
+
+        first, second, stats = _serve_test(go)
+        assert first["cached"] is False
+        assert second["cached"] is True
+        assert second["ids"] == first["ids"]
+        assert stats["cache"]["hits"] == 1
+
+    def test_validation_errors_are_400(self):
+        async def go(base, _server):
+            codes = {}
+            for name, payload in {
+                "wrong_dim": {"query": [0.5] * 7, "k": 1},
+                "nan": {"query": [float("nan")] * 4, "k": 1},
+                "missing": {"k": 1},
+                "bad_k": {"query": [0.5] * 4, "k": 0},
+                "not_numeric": {"query": ["a", "b"]},
+            }.items():
+                try:
+                    await _afetch(base, "/search", payload)
+                    codes[name] = 200
+                except urllib.error.HTTPError as exc:
+                    codes[name] = exc.code
+                    exc.read()
+            return codes
+
+        codes = _serve_test(go)
+        assert all(code == 400 for code in codes.values()), codes
+
+    def test_add_then_search_sees_new_point_and_generation(self):
+        async def go(base, _server):
+            far = [40.0, 40.0, 40.0, 40.0]
+            _, added = await _afetch(base, "/add", {"points": [far]})
+            # beam_width forces beam traversal: pure greedy descent can
+            # stall in a local minimum and has no visibility guarantee.
+            _, found = await _afetch(
+                base, "/search", {"query": far, "k": 1, "beam_width": 16}
+            )
+            return added, found
+
+        added, found = _serve_test(go)
+        assert added["generation"] == 1
+        assert found["ids"][0] == added["ids"][0]
+        assert found["generation"] == 1
+
+    def test_delete_is_atomic_over_http(self):
+        async def go(base, _server):
+            try:
+                await _afetch(base, "/delete", {"ids": [0, 99999]})
+                code = 200
+            except urllib.error.HTTPError as exc:
+                code = exc.code
+                exc.read()
+            _, health = await _afetch(base, "/healthz")
+            return code, health
+
+        code, health = _serve_test(go)
+        assert code == 400
+        assert health["active"] == 90  # id 0 survived the failed batch
+        assert health["generation"] == 0  # nothing swapped
+
+    def test_padding_contract_over_json(self):
+        async def go(base, _server):
+            return await _afetch(
+                base,
+                "/search",
+                {"query": [0.5] * 4, "k": 5, "allowed_ids": [1, 2]},
+            )
+
+        _, body = _serve_test(go)
+        assert body["ids"][2:] == [-1, -1, -1]
+        # JSON has no inf: the padded tail serializes as null.
+        assert body["distances"][2:] == [None, None, None]
+        assert all(d is not None for d in body["distances"][:2])
+
+    def test_unknown_route_is_404(self):
+        async def go(base, _server):
+            try:
+                await _afetch(base, "/nope", {})
+                return 200
+            except urllib.error.HTTPError as exc:
+                exc.read()
+                return exc.code
+
+        assert _serve_test(go) == 404
+
+    def test_interleaved_writes_never_expose_partial_state(self):
+        """The acceptance invariant, in miniature: a writer repeatedly
+        adds and deletes a complete 4-point cluster at a far corner
+        while readers query for exactly those ids (``allowed_ids``
+        makes the answer retrieval-proof: every live member of the set
+        comes back, or none) — a proper subset would mean a response
+        saw a partially-applied mutation."""
+        index = _flat()
+        corner = np.full(4, 30.0)
+        cluster = (corner + np.arange(4)[:, None] * 0.5).tolist()
+
+        async def go(base, _server):
+            torn = []
+            live_ids = [[]]
+
+            async def writer():
+                for _ in range(6):
+                    _, added = await _afetch(base, "/add", {"points": cluster})
+                    live_ids[0] = added["ids"]
+                    await asyncio.sleep(0.002)
+                    await _afetch(base, "/delete", {"ids": added["ids"]})
+
+            async def reader():
+                for _ in range(30):
+                    ids = live_ids[0]
+                    if not ids:
+                        await asyncio.sleep(0)
+                        continue
+                    _, body = await _afetch(
+                        base,
+                        "/search",
+                        {
+                            "query": corner.tolist(),
+                            "k": 4,
+                            "allowed_ids": ids,
+                        },
+                    )
+                    close = [
+                        v
+                        for v, d in zip(body["ids"], body["distances"])
+                        if d is not None
+                    ]
+                    if len(close) not in (0, 4):
+                        torn.append(close)
+
+            await asyncio.gather(writer(), reader(), reader())
+            return torn
+
+        torn = _serve_test(go, index=index, cache_size=0, max_wait_ms=0.5)
+        assert torn == []
