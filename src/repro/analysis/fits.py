@@ -11,6 +11,7 @@ plain numpy so there is no scipy dependency at runtime.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
@@ -56,7 +57,7 @@ def _ols(x: np.ndarray, y: np.ndarray) -> tuple[float, float, float]:
     return slope, intercept, r2
 
 
-def fit_linear(xs, ys) -> LinearFit:
+def fit_linear(xs: Any, ys: Any) -> LinearFit:
     """OLS line fit with R^2."""
     x = np.asarray(xs, dtype=np.float64)
     y = np.asarray(ys, dtype=np.float64)
@@ -66,7 +67,7 @@ def fit_linear(xs, ys) -> LinearFit:
     return LinearFit(slope=slope, intercept=intercept, r_squared=r2)
 
 
-def fit_power_law(xs, ys) -> PowerLawFit:
+def fit_power_law(xs: Any, ys: Any) -> PowerLawFit:
     """Fit ``y = c * x^a`` and report how stable the exponent is.
 
     ``exponent_range`` is the min/max exponent over leave-one-out refits

@@ -1,0 +1,366 @@
+"""The rule engine behind ``repro lint``.
+
+Deliberately small: a :class:`Rule` is a named check over one parsed
+file (a :class:`FileContext`), a :class:`Finding` is one localized
+violation, and the engine's whole job is to parse files, hand them to
+rules, and fold per-line ``# repro: ignore[rule-id]`` suppressions into
+the result.  Everything project-specific lives in the rules
+(:mod:`repro.analysis.lint.rules`); everything here would transfer to
+any other codebase unchanged.
+
+Suppression syntax, on the *flagged* line::
+
+    rng = np.random.default_rng()  # repro: ignore[determinism] seeded upstream
+    arena = SharedArena.create(g)  # repro: ignore[arena-hygiene, unused-symbol]
+    anything_at_all()              # repro: ignore
+
+The bare form suppresses every rule on that line; the bracketed form
+suppresses only the listed rule ids.  Suppressed findings are still
+collected (``Finding.suppressed=True``) so ``--show-suppressed`` can
+audit them, but they never affect the exit code.
+"""
+
+from __future__ import annotations
+
+import ast
+import enum
+import json
+import re
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+__all__ = [
+    "FileContext",
+    "Finding",
+    "LintConfig",
+    "LintError",
+    "LintReport",
+    "Rule",
+    "Severity",
+    "format_findings",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+    "parse_suppressions",
+]
+
+
+class LintError(Exception):
+    """A file could not be linted (unreadable, syntax error)."""
+
+
+class Severity(enum.Enum):
+    """How a finding affects the run: errors gate the exit code."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One localized contract violation."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    severity: Severity = Severity.ERROR
+    suppressed: bool = False
+
+    def render(self) -> str:
+        tag = " (suppressed)" if self.suppressed else ""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.severity} [{self.rule}] {self.message}{tag}"
+        )
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """What to run and how severe each rule is.
+
+    ``select``/``ignore`` are rule-id filters (``select`` empty means
+    every registered rule).  ``severity_overrides`` remaps a rule's
+    default severity — a project can demote a rule to ``warning``
+    without forking its implementation.  ``typed_packages`` scopes the
+    ``typing-complete`` rule (the strict-typing gate mirror) to the
+    packages the pinned mypy config covers.
+    """
+
+    select: frozenset[str] = frozenset()
+    ignore: frozenset[str] = frozenset()
+    severity_overrides: dict[str, Severity] = field(default_factory=dict)
+    typed_packages: tuple[str, ...] = (
+        "repro.core",
+        "repro.storage",
+        "repro.serve",
+        "repro.analysis",
+    )
+
+    def enabled(self, rule_id: str) -> bool:
+        if rule_id in self.ignore:
+            return False
+        return not self.select or rule_id in self.select
+
+    def severity_for(self, rule: "Rule") -> Severity:
+        return self.severity_overrides.get(rule.id, rule.default_severity)
+
+
+class FileContext:
+    """One parsed file, as rules see it."""
+
+    def __init__(
+        self,
+        path: str,
+        source: str,
+        tree: ast.Module,
+        config: LintConfig,
+        module: str | None = None,
+    ) -> None:
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.config = config
+        self.module = module if module is not None else module_name_of(path)
+        self.lines = source.splitlines()
+
+    @property
+    def is_init(self) -> bool:
+        return Path(self.path).name == "__init__.py"
+
+    def in_typed_packages(self) -> bool:
+        """Is this file in the strict-typing gate's scope?
+
+        Standalone files (no ``repro`` package root on their path — the
+        test fixtures) count as in-scope so the rule is exercisable.
+        """
+        if self.module is None:
+            return True
+        return self.module.startswith(
+            tuple(p + "." for p in self.config.typed_packages)
+            + self.config.typed_packages
+        )
+
+
+class Rule:
+    """One named check.  Subclasses set the class attributes and
+    implement :meth:`check`, yielding ``(node_or_line, message)``."""
+
+    id: str = "?"
+    rationale: str = ""
+    default_severity: Severity = Severity.ERROR
+
+    def applies(self, ctx: FileContext) -> bool:
+        return True
+
+    def check(self, ctx: FileContext) -> Iterator[tuple[ast.AST | int, str]]:
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def run(self, ctx: FileContext) -> list[Finding]:
+        severity = ctx.config.severity_for(self)
+        out = []
+        for where, message in self.check(ctx):
+            if isinstance(where, int):
+                line, col = where, 0
+            else:
+                line = getattr(where, "lineno", 1)
+                col = getattr(where, "col_offset", 0)
+            out.append(
+                Finding(
+                    rule=self.id,
+                    path=ctx.path,
+                    line=line,
+                    col=col,
+                    message=message,
+                    severity=severity,
+                )
+            )
+        return out
+
+
+# ----------------------------------------------------------------------
+# Suppressions
+# ----------------------------------------------------------------------
+
+# ``# repro: ignore`` or ``# repro: ignore[id-a, id-b]`` anywhere in the
+# physical line (typically a trailing comment, optionally followed by a
+# free-text justification).
+_SUPPRESS_RE = re.compile(r"#\s*repro:\s*ignore(?:\[([A-Za-z0-9_\-, ]+)\])?")
+
+#: Sentinel: every rule is suppressed on this line.
+SUPPRESS_ALL = "*"
+
+
+def parse_suppressions(source: str) -> dict[int, set[str]]:
+    """Map 1-based line number -> suppressed rule ids (or ``{'*'}``)."""
+    out: dict[int, set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        if "repro:" not in line:  # fast path
+            continue
+        m = _SUPPRESS_RE.search(line)
+        if m is None:
+            continue
+        ids = m.group(1)
+        if ids is None:
+            out[lineno] = {SUPPRESS_ALL}
+        else:
+            out.setdefault(lineno, set()).update(
+                tok.strip() for tok in ids.split(",") if tok.strip()
+            )
+    return out
+
+
+def module_name_of(path: str) -> str | None:
+    """Dotted module name of ``path`` rooted at its ``repro`` package
+    directory, or ``None`` when the file is not under one (fixtures)."""
+    parts = Path(path).with_suffix("").parts
+    if "repro" not in parts:
+        return None
+    root = len(parts) - 1 - parts[::-1].index("repro")
+    dotted = parts[root:]
+    if dotted and dotted[-1] == "__init__":
+        dotted = dotted[:-1]
+    return ".".join(dotted)
+
+
+# ----------------------------------------------------------------------
+# Running
+# ----------------------------------------------------------------------
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: Sequence[Rule] | None = None,
+    config: LintConfig | None = None,
+    module: str | None = None,
+) -> list[Finding]:
+    """Lint one in-memory source string (the test-fixture entry point)."""
+    from repro.analysis.lint.rules import default_rules
+
+    config = config or LintConfig()
+    rules = list(rules) if rules is not None else default_rules()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        raise LintError(f"{path}: cannot parse: {exc}") from exc
+    ctx = FileContext(path, source, tree, config, module=module)
+    suppressions = parse_suppressions(source)
+    findings: list[Finding] = []
+    for rule in rules:
+        if not config.enabled(rule.id) or not rule.applies(ctx):
+            continue
+        for finding in rule.run(ctx):
+            on_line = suppressions.get(finding.line, set())
+            if SUPPRESS_ALL in on_line or finding.rule in on_line:
+                finding = replace(finding, suppressed=True)
+            findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    """Expand files/directories into ``*.py`` files, sorted, once."""
+    seen: set[Path] = set()
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            candidates = sorted(
+                q for q in p.rglob("*.py") if "__pycache__" not in q.parts
+            )
+        elif p.suffix == ".py":
+            candidates = [p]
+        elif not p.exists():
+            raise LintError(f"no such file or directory: {p}")
+        else:
+            candidates = []
+        for q in candidates:
+            if q not in seen:
+                seen.add(q)
+                yield q
+
+
+@dataclass
+class LintReport:
+    """The outcome of one ``lint_paths`` run."""
+
+    findings: list[Finding]
+    files_checked: int
+
+    @property
+    def unsuppressed(self) -> list[Finding]:
+        return [f for f in self.findings if not f.suppressed]
+
+    @property
+    def errors(self) -> list[Finding]:
+        return [
+            f
+            for f in self.unsuppressed
+            if f.severity is Severity.ERROR
+        ]
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.errors else 0
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    rules: Sequence[Rule] | None = None,
+    config: LintConfig | None = None,
+) -> LintReport:
+    """Lint every python file under ``paths``."""
+    findings: list[Finding] = []
+    count = 0
+    for path in iter_python_files(paths):
+        count += 1
+        try:
+            source = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise LintError(f"{path}: cannot read: {exc}") from exc
+        findings.extend(
+            lint_source(source, path=str(path), rules=rules, config=config)
+        )
+    return LintReport(findings=findings, files_checked=count)
+
+
+def format_findings(
+    report: LintReport, fmt: str = "text", show_suppressed: bool = False
+) -> str:
+    """Render a report for the CLI (``text`` or ``json``)."""
+    shown = [
+        f for f in report.findings if show_suppressed or not f.suppressed
+    ]
+    if fmt == "json":
+        return json.dumps(
+            {
+                "files_checked": report.files_checked,
+                "findings": [
+                    {
+                        "rule": f.rule,
+                        "path": f.path,
+                        "line": f.line,
+                        "col": f.col,
+                        "severity": str(f.severity),
+                        "message": f.message,
+                        "suppressed": f.suppressed,
+                    }
+                    for f in shown
+                ],
+                "exit_code": report.exit_code,
+            },
+            indent=2,
+        )
+    lines = [f.render() for f in shown]
+    n_err = len(report.errors)
+    n_sup = sum(1 for f in report.findings if f.suppressed)
+    lines.append(
+        f"{report.files_checked} files checked: "
+        f"{n_err} finding(s), {n_sup} suppressed"
+    )
+    return "\n".join(lines)

@@ -416,7 +416,21 @@ def _cmd_delete(args: argparse.Namespace) -> int:
 
 def _cmd_index_info(args: argparse.Namespace) -> int:
     """Kind, counts, storage mode, and the memory breakdown of a saved
-    index (either kind)."""
+    index (either kind); ``--validate`` adds the structural integrity
+    checks (CSR shape, id-map/tombstone consistency, manifest shard
+    agreement) and exits nonzero on any violated invariant."""
+    if getattr(args, "validate", False):
+        # Manifest agreement is checked *before* loading: a manifest
+        # whose shard count disagrees with its files should name the
+        # invariant, not die inside the loader.
+        if Path(args.index).is_dir():
+            from repro.core.integrity import check_sharded_manifest
+
+            pre = check_sharded_manifest(args.index)
+            if pre:
+                for violation in pre:
+                    print(f"INTEGRITY VIOLATION: {violation}", file=sys.stderr)
+                return 1
     index = load_any(args.index)
     out = {
         "kind": "sharded" if isinstance(index, ShardedIndex) else "flat",
@@ -432,8 +446,55 @@ def _cmd_index_info(args: argparse.Namespace) -> int:
         out["builder"] = index.shards[0].built.name
     else:
         out["builder"] = index.built.name
+    if getattr(args, "validate", False):
+        from repro.core.integrity import integrity_report
+
+        report = integrity_report(index, path=args.index)
+        out["integrity"] = report
+        print(json.dumps(out, indent=2))
+        if not report["ok"]:
+            for violation in report["violations"]:
+                print(f"INTEGRITY VIOLATION: {violation}", file=sys.stderr)
+            return 1
+        return 0
     print(json.dumps(out, indent=2))
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Run the project-contract linter; nonzero on any unsuppressed
+    finding.  See ``repro.analysis.lint`` for the rules."""
+    from repro.analysis.lint import (
+        ALL_RULES,
+        LintConfig,
+        LintError,
+        format_findings,
+        lint_paths,
+    )
+
+    if args.list_rules:
+        for cls in ALL_RULES:
+            print(f"{cls.id}: {' '.join(cls.rationale.split())}")
+        return 0
+    if not args.paths:
+        print("error: no paths to lint (try: repro lint src/repro)",
+              file=sys.stderr)
+        return 2
+    config = LintConfig(
+        select=frozenset(args.select or ()),
+        ignore=frozenset(args.ignore or ()),
+    )
+    try:
+        report = lint_paths(args.paths, config=config)
+    except LintError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(
+        format_findings(
+            report, fmt=args.format, show_suppressed=args.show_suppressed
+        )
+    )
+    return report.exit_code
 
 
 def _cmd_bench_storage(args: argparse.Namespace) -> int:
@@ -693,7 +754,42 @@ def _parser() -> argparse.ArgumentParser:
         help="kind, point counts, storage mode, and memory breakdown",
     )
     pi.add_argument("index")
+    pi.add_argument(
+        "--validate", action="store_true",
+        help="run structural integrity checks (CSR offsets/targets, "
+             "tombstone/id-map consistency, manifest shard agreement); "
+             "exits 1 naming every violated invariant",
+    )
     pi.set_defaults(fn=_cmd_index_info)
+
+    p = sub.add_parser(
+        "lint",
+        help="project-contract linter (determinism, async/spawn safety, "
+             "arena hygiene, kernel parity, typing); nonzero on findings",
+    )
+    p.add_argument(
+        "paths", nargs="*", help="files or directories to lint"
+    )
+    p.add_argument(
+        "--select", nargs="*", metavar="RULE",
+        help="run only these rule ids (default: all)",
+    )
+    p.add_argument(
+        "--ignore", nargs="*", metavar="RULE", help="skip these rule ids"
+    )
+    p.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)",
+    )
+    p.add_argument(
+        "--show-suppressed", action="store_true",
+        help="also print findings silenced by # repro: ignore[...]",
+    )
+    p.add_argument(
+        "--list-rules", action="store_true",
+        help="print every rule id with its rationale and exit",
+    )
+    p.set_defaults(fn=_cmd_lint)
 
     p = sub.add_parser(
         "add", help="insert an (n, d) .npy of new points into a saved index"

@@ -96,7 +96,7 @@ class ProximityGraphIndex:
         id_map: IdMap | None = None,
         tombstones: np.ndarray | None = None,
         store: VectorStore | None = None,
-    ):
+    ) -> None:
         self.dataset = dataset
         self.built = built
         self.scale = scale

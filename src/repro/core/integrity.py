@@ -1,0 +1,241 @@
+"""Structural integrity checks for saved and live indexes.
+
+``graphs/validate.py`` checks the *semantic* proximity-graph property
+(greedy routing reaches a (1+eps)-ANN); this module checks the
+*structural* invariants underneath it — the ones a truncated file, a
+buggy migration, or a bad manual edit breaks first:
+
+* CSR shape: ``offsets`` is ``(n+1,)``, starts at 0, is monotone
+  non-decreasing, and spans ``targets`` exactly;
+* every CSR target lies in ``[0, n)``;
+* the tombstone mask covers every point and agrees with the index's
+  own active/tombstone counters;
+* external ids are one per point, non-negative, and unique (across
+  *all* shards of a sharded index);
+* the vector store holds exactly ``n`` codes/points;
+* a sharded manifest's declared shard count agrees with the files it
+  lists **and** with the files actually on disk.
+
+Every violation names its invariant (``csr-offsets-monotone``,
+``manifest-shard-count``, ...) so a failing ``repro index info
+--validate`` run reads as a diagnosis, not a stack trace.  Like the
+semantic validator, this one is tested by failure injection — a
+validator that never fires is worse than none.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "IntegrityError",
+    "check_index",
+    "check_flat_index",
+    "check_sharded_index",
+    "check_sharded_manifest",
+    "integrity_report",
+]
+
+
+class IntegrityError(ValueError):
+    """One or more structural invariants are violated; the message
+    lists every violation by invariant name."""
+
+
+def _check_csr(n: int, offsets: np.ndarray, targets: np.ndarray) -> list[str]:
+    violations: list[str] = []
+    if offsets.shape != (n + 1,):
+        violations.append(
+            f"csr-offsets-shape: offsets has shape {offsets.shape}, "
+            f"expected ({n + 1},) for n={n} points"
+        )
+        return violations  # downstream checks would misread the array
+    if int(offsets[0]) != 0:
+        violations.append(
+            f"csr-offsets-start: offsets[0] is {int(offsets[0])}, must be 0"
+        )
+    if len(offsets) > 1 and bool((np.diff(offsets) < 0).any()):
+        at = int(np.flatnonzero(np.diff(offsets) < 0)[0])
+        violations.append(
+            "csr-offsets-monotone: offsets must be non-decreasing; "
+            f"offsets[{at}]={int(offsets[at])} > "
+            f"offsets[{at + 1}]={int(offsets[at + 1])}"
+        )
+    if int(offsets[-1]) != len(targets):
+        violations.append(
+            f"csr-offsets-span: offsets[-1]={int(offsets[-1])} must equal "
+            f"len(targets)={len(targets)}"
+        )
+    if len(targets):
+        lo, hi = int(targets.min()), int(targets.max())
+        if lo < 0 or hi >= n:
+            violations.append(
+                f"csr-targets-range: targets span [{lo}, {hi}] but every "
+                f"neighbor id must lie in [0, {n})"
+            )
+    return violations
+
+
+def check_flat_index(index: Any, label: str = "") -> list[str]:
+    """Structural violations of one flat index (empty list = clean)."""
+    prefix = f"{label}: " if label else ""
+    violations: list[str] = []
+    n = int(index.n)
+    offsets, targets = index.graph.csr()
+    violations.extend(prefix + v for v in _check_csr(n, offsets, targets))
+
+    tombstones = np.asarray(index._tombstones)
+    if tombstones.shape != (n,):
+        violations.append(
+            f"{prefix}tombstone-shape: mask has shape {tombstones.shape}, "
+            f"expected ({n},)"
+        )
+    else:
+        active = int((~tombstones).sum())
+        if active != int(index.active_count):
+            violations.append(
+                f"{prefix}tombstone-count: mask says {active} active "
+                f"points but the index reports {index.active_count}"
+            )
+
+    externals = np.asarray(index.id_map.externals)
+    if externals.shape != (n,):
+        violations.append(
+            f"{prefix}external-id-shape: {len(externals)} external ids "
+            f"for {n} points — every point needs exactly one"
+        )
+    else:
+        if len(externals) and int(externals.min()) < 0:
+            violations.append(
+                f"{prefix}external-id-negative: external ids must be "
+                f"non-negative, found {int(externals.min())}"
+            )
+        if len(np.unique(externals)) != len(externals):
+            uniq, counts = np.unique(externals, return_counts=True)
+            dup = int(uniq[counts > 1][0])
+            violations.append(
+                f"{prefix}external-id-unique: external id {dup} is "
+                "assigned to more than one point"
+            )
+
+    store_n = int(index.store.n)
+    if store_n != n:
+        violations.append(
+            f"{prefix}storage-count: the vector store holds {store_n} "
+            f"vectors but the graph has {n} vertices"
+        )
+    return violations
+
+
+def check_sharded_index(index: Any) -> list[str]:
+    """Per-shard structural checks plus the cross-shard id invariant."""
+    violations: list[str] = []
+    for j, shard in enumerate(index.shards):
+        violations.extend(check_flat_index(shard, label=f"shard[{j}]"))
+    seen: dict[int, int] = {}
+    for j, shard in enumerate(index.shards):
+        for e in np.asarray(shard.id_map.externals).tolist():
+            if e in seen:
+                violations.append(
+                    "external-id-unique-across-shards: external id "
+                    f"{e} appears in shard[{seen[e]}] and shard[{j}]"
+                )
+            else:
+                seen[e] = j
+    return violations
+
+
+def check_sharded_manifest(path: str | Path) -> list[str]:
+    """Does the manifest's declared shard count agree with reality?
+
+    Checks declared ``shards`` against both the ``shard_files`` list it
+    carries and the files actually present on disk — a manifest edited
+    by hand (or a partially copied directory) fails here with the
+    invariant named, before any load is attempted.
+    """
+    from repro.core.persistence import MANIFEST_NAME
+
+    path = Path(path)
+    directory = path if path.is_dir() else path.parent
+    manifest_path = directory / MANIFEST_NAME
+    if not manifest_path.is_file():
+        return [
+            f"manifest-missing: {directory} has no {MANIFEST_NAME}; not a "
+            "sharded index directory"
+        ]
+    try:
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"manifest-unreadable: cannot parse {manifest_path}: {exc}"]
+
+    violations: list[str] = []
+    declared = manifest.get("shards")
+    shard_files = manifest.get("shard_files") or []
+    if not isinstance(declared, int):
+        violations.append(
+            f"manifest-shard-count: manifest declares shards={declared!r}; "
+            "expected an integer count"
+        )
+        return violations
+    if declared != len(shard_files):
+        violations.append(
+            f"manifest-shard-count: manifest declares {declared} shards "
+            f"but lists {len(shard_files)} shard file(s)"
+        )
+    missing = [f for f in shard_files if not (directory / f).is_file()]
+    if missing:
+        violations.append(
+            f"manifest-shard-files: {len(missing)} listed shard file(s) "
+            f"missing on disk: {missing}"
+        )
+    return violations
+
+
+def check_index(index: Any, path: str | Path | None = None) -> list[str]:
+    """Every applicable structural check for ``index`` (either kind)."""
+    # Shard lists only exist on sharded indexes; duck-typed so this
+    # module needs no import of either index class.
+    if hasattr(index, "shards"):
+        violations = check_sharded_index(index)
+        if path is not None:
+            violations = check_sharded_manifest(path) + violations
+    else:
+        violations = check_flat_index(index)
+    return violations
+
+
+def integrity_report(
+    index: Any, path: str | Path | None = None, strict: bool = False
+) -> dict[str, Any]:
+    """JSON-safe report for ``repro index info --validate``.
+
+    With ``strict=True`` raises :class:`IntegrityError` listing every
+    violation instead of returning a failing report.
+    """
+    violations = check_index(index, path=path)
+    report = {
+        "ok": not violations,
+        "violations": violations,
+        "checks": [
+            "csr-offsets (shape/start/monotone/span)",
+            "csr-targets-range",
+            "tombstone (shape/count)",
+            "external-id (shape/negative/unique)",
+            "storage-count",
+        ]
+        + (
+            ["manifest-shard-count", "manifest-shard-files"]
+            if hasattr(index, "shards")
+            else []
+        ),
+    }
+    if strict and violations:
+        raise IntegrityError(
+            "index failed structural validation:\n  "
+            + "\n  ".join(violations)
+        )
+    return report

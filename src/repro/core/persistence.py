@@ -375,7 +375,7 @@ def load_sharded_index(path: str | Path, cls: type | None = None) -> "ShardedInd
     )
 
 
-def load_any(path: str | Path):
+def load_any(path: str | Path) -> "ProximityGraphIndex | ShardedIndex":
     """Load whichever index kind lives at ``path``.
 
     Dispatches on shape: a directory (or a ``manifest.json``) loads as

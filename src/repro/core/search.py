@@ -169,7 +169,7 @@ class IdMap:
     ``compact``, or a ``save``/``load`` round trip.
     """
 
-    def __init__(self, externals: Sequence[int] | None = None):
+    def __init__(self, externals: Sequence[int] | None = None) -> None:
         self._ext = (
             np.asarray(externals, dtype=np.int64).copy()
             if externals is not None

@@ -49,11 +49,12 @@ Semantics carried over from the flat index, unchanged:
 from __future__ import annotations
 
 import dataclasses
+import itertools
 import math
 import os
-import uuid
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
+from pathlib import Path
 from typing import Any, Sequence
 
 import numpy as np
@@ -72,7 +73,7 @@ from repro.graphs.engine import (
     run_shard_search,
     shard_search_entry,
 )
-from repro.metrics.arena import ArenaSpec, SharedArena, attach
+from repro.metrics.arena import ArenaSpec, AttachedArena, SharedArena, attach
 from repro.metrics.base import Dataset, MetricSpace
 from repro.metrics.euclidean import EuclideanMetric
 from repro.metrics.specs import metric_from_spec, metric_to_spec
@@ -97,13 +98,25 @@ __all__ = [
 DEFAULT_SEARCH_CHUNK = 4096
 
 
-def _mp_context():
+def _mp_context() -> Any:
     """The pool start method: the platform default, unless the
-    ``REPRO_MP_START_METHOD`` env knob (CI's spawn job) overrides it."""
+    ``REPRO_MP_START_METHOD`` env knob (CI's spawn job) overrides it.
+
+    Returns a ``multiprocessing`` context (or ``None`` for the
+    default); typed ``Any`` because the context classes are
+    platform-dependent."""
     import multiprocessing
 
     method = os.environ.get("REPRO_MP_START_METHOD")
     return multiprocessing.get_context(method) if method else None
+
+
+# Worker-cache tokens: unique per live index within this process so
+# pool workers never serve another index's (or a stale) graph.  A
+# process-local counter, *not* uuid4 — token values never influence
+# results, and the determinism contract bans ambient entropy in
+# library code outright so nothing nondeterministic can leak in later.
+_TOKEN_COUNTER = itertools.count()
 
 
 # ----------------------------------------------------------------------
@@ -218,7 +231,7 @@ class _AttachmentSet:
     """Several arena attachments behind one ``close()`` — a rehydrated
     shard may hold both a points view and a codes view."""
 
-    def __init__(self, parts):
+    def __init__(self, parts: Sequence[AttachedArena | None]) -> None:
         self._parts = [p for p in parts if p is not None]
 
     def close(self) -> None:
@@ -282,7 +295,9 @@ def shard_payload(
     return payload
 
 
-def rehydrate_shard(payload: dict):
+def rehydrate_shard(
+    payload: dict,
+) -> tuple[ProximityGraphIndex, _AttachmentSet | None]:
     """Rebuild a queryable shard index from its wire form.
 
     Returns ``(index, attachment)`` where ``attachment`` is the arena
@@ -293,7 +308,9 @@ def rehydrate_shard(payload: dict):
     metric = metric_from_spec(payload["metric"])
     point_att = None
     if "arena" in payload:
-        point_att = attach(payload["arena"])
+        # Ownership transfers to the caller via the returned
+        # _AttachmentSet; callers close it after use.
+        point_att = attach(payload["arena"])  # repro: ignore[arena-hygiene]
         lo, hi = payload["span"]
         points = point_att.view(lo, hi)
     else:
@@ -316,7 +333,9 @@ def rehydrate_shard(payload: dict):
     storage = payload.get("storage")
     if storage is not None:
         if "codes_arena" in storage:
-            code_att = attach(storage["codes_arena"])
+            # Same ownership transfer as point_att above: released by
+            # the caller through the returned _AttachmentSet.
+            code_att = attach(storage["codes_arena"])  # repro: ignore[arena-hygiene]
             lo, hi = storage["codes_span"]
             codes = code_att.view(lo, hi)
         else:
@@ -405,7 +424,7 @@ class ShardedIndex:
         arena_spans: Sequence[tuple[int, int]] | None = None,
         next_id: int | None = None,
         search_chunk: int = DEFAULT_SEARCH_CHUNK,
-    ):
+    ) -> None:
         if not shards:
             raise ValueError("a sharded index needs at least one shard")
         self.shards = list(shards)
@@ -435,9 +454,11 @@ class ShardedIndex:
                 self._owner[e] = j
         top = max(self._owner) + 1 if self._owner else 0
         self._next = max(int(next_id) if next_id is not None else 0, top)
-        # Worker-cache token: bumps on every mutation so pool workers
-        # never serve a stale graph.
-        self._token = uuid.uuid4().hex
+        # Worker-cache token: unique per live index in this process, so
+        # a pool worker's preloaded shard cache can never alias another
+        # index's graph (generation bumps handle staleness *within* an
+        # index's lifetime).
+        self._token = f"sharded-{next(_TOKEN_COUNTER)}"
         self._generation = 0
         self._pool: ProcessPoolExecutor | None = None
         self._pool_generation = -1
@@ -576,7 +597,11 @@ class ShardedIndex:
         for mem in members:
             spans.append((lo, lo + len(mem)))
             lo += len(mem)
-        arena = SharedArena.create(grouped)
+        # Deliberately *not* closed on success: the arena is adopted by
+        # the returned ShardedIndex (shards keep zero-copy views into
+        # it) and released by its close(); the except-BaseException
+        # below closes it on every build failure.
+        arena = SharedArena.create(grouped)  # repro: ignore[arena-hygiene]
         spec = metric_to_spec(metric)
         try:
             tasks = [
@@ -1138,7 +1163,7 @@ class ShardedIndex:
         out["accel"] = accel.backend_status()
         return out
 
-    def save(self, path: Any):
+    def save(self, path: Any) -> Path:
         """Persist as a format-v3 manifest directory (one v2 ``.npz``
         per shard); see :func:`repro.core.persistence.save_sharded_index`.
         """

@@ -24,8 +24,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator
 
-import numpy as np
-
 from repro.metrics.adversarial import BlockAdversarialMetric
 from repro.metrics.base import Dataset
 

@@ -70,10 +70,22 @@ class SharedArena:
                 "shared arenas hold numeric coordinate arrays only "
                 f"(got dtype {points.dtype})"
             )
-        shm = shared_memory.SharedMemory(create=True, size=max(points.nbytes, 1))
-        spec = ArenaSpec(shm.name, points.shape, points.dtype.str)
-        arena = cls(shm, spec)
-        arena.array[...] = points
+        # Ownership transfers to the returned SharedArena, whose
+        # close() unlinks the segment — a finally here would tear down
+        # the block on the success path too.
+        shm = shared_memory.SharedMemory(  # repro: ignore[arena-hygiene]
+            create=True, size=max(points.nbytes, 1)
+        )
+        try:
+            spec = ArenaSpec(shm.name, points.shape, points.dtype.str)
+            arena = cls(shm, spec)
+            arena.array[...] = points
+        except BaseException:
+            # The segment would otherwise outlive the failed create —
+            # /dev/shm has no garbage collector.
+            shm.close()
+            shm.unlink()
+            raise
         return arena
 
     def view(self, start: int, stop: int) -> np.ndarray:

@@ -28,7 +28,7 @@ class QueryCache:
     drops) — the serving layer still works, just uncached.
     """
 
-    def __init__(self, capacity: int = 1024):
+    def __init__(self, capacity: int = 1024) -> None:
         if capacity < 0:
             raise ValueError("capacity must be non-negative")
         self.capacity = int(capacity)

@@ -116,7 +116,7 @@ class Coalescer:
         max_batch: int = 64,
         max_wait_ms: float = 2.0,
         executor: ThreadPoolExecutor | None = None,
-    ):
+    ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be at least 1")
         if max_wait_ms < 0:

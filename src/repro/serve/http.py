@@ -121,7 +121,7 @@ class SearchServer:
         max_wait_ms: float = 2.0,
         cache_size: int = 1024,
         search_workers: int = 2,
-    ):
+    ) -> None:
         self.holder = holder
         self.coalescer = Coalescer(
             holder,

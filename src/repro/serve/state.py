@@ -37,7 +37,7 @@ __all__ = ["IndexHolder"]
 class IndexHolder:
     """One mutable slot holding the currently-served index."""
 
-    def __init__(self, index: Any):
+    def __init__(self, index: Any) -> None:
         self._state: tuple[Any, int] = (index, 0)
         self._write_lock = threading.Lock()
 

@@ -132,7 +132,7 @@ class FlatQueryView(QueryDistanceView):
 
     __slots__ = ("metric", "points", "Q")
 
-    def __init__(self, metric: MetricSpace, points: Any, Q: Any):
+    def __init__(self, metric: MetricSpace, points: Any, Q: Any) -> None:
         self.metric = metric
         self.points = points
         self.Q = Q

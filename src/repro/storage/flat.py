@@ -26,7 +26,7 @@ class FlatStore(VectorStore):
     is_quantized = False
     default_rerank_factor = 1
 
-    def __init__(self, metric: MetricSpace, points: Any):
+    def __init__(self, metric: MetricSpace, points: Any) -> None:
         self.metric = metric
         self.points = points
         self.drift = 0

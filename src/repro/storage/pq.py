@@ -200,7 +200,13 @@ class _PQView(QueryDistanceView):
 
     __slots__ = ("codes", "luts", "combine", "power", "factor", "_cols")
 
-    def __init__(self, metric: MetricSpace, params: PQParams, codes, Q):
+    def __init__(
+        self,
+        metric: MetricSpace,
+        params: PQParams,
+        codes: np.ndarray,
+        Q: Any,
+    ) -> None:
         combine, power, factor = _adc_mode(metric)
         Q = np.asarray(Q, dtype=np.float64)
         if Q.ndim == 1:
@@ -240,7 +246,9 @@ class _PQView(QueryDistanceView):
         acc = contrib.sum() if self.combine == "sum" else contrib.max()
         return float(self._finalize(np.asarray(acc)))
 
-    def segmented(self, q_rows, cand, lens) -> np.ndarray:
+    def segmented(
+        self, q_rows: np.ndarray, cand: np.ndarray, lens: np.ndarray
+    ) -> np.ndarray:
         rows = np.repeat(
             np.asarray(q_rows, dtype=np.intp), np.asarray(lens, dtype=np.int64)
         )
@@ -265,7 +273,7 @@ class PQStore(VectorStore):
         options: dict[str, Any] | None = None,
         drift: int = 0,
         trained_on: int | None = None,
-    ):
+    ) -> None:
         _adc_mode(metric)  # fail fast on unsupported metrics
         self.metric = metric
         self.params = params

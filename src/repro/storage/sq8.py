@@ -91,7 +91,13 @@ class _SQ8View(QueryDistanceView):
 
     __slots__ = ("metric", "params", "codes", "Q")
 
-    def __init__(self, metric: MetricSpace, params: SQ8Params, codes, Q):
+    def __init__(
+        self,
+        metric: MetricSpace,
+        params: SQ8Params,
+        codes: np.ndarray,
+        Q: Any,
+    ) -> None:
         self.metric = metric
         self.params = params
         self.codes = codes
@@ -101,7 +107,9 @@ class _SQ8View(QueryDistanceView):
         row = decode_sq8(self.params, self.codes[v][None, :])
         return float(self.metric.distances(self.Q[qi], row)[0])
 
-    def segmented(self, q_rows, cand, lens) -> np.ndarray:
+    def segmented(
+        self, q_rows: np.ndarray, cand: np.ndarray, lens: np.ndarray
+    ) -> np.ndarray:
         idx = np.asarray(cand, dtype=np.intp)
         rows = np.asarray(q_rows, dtype=np.intp)
         decoded = decode_sq8(self.params, self.codes[idx])
@@ -124,7 +132,7 @@ class SQ8Store(VectorStore):
         options: dict[str, Any] | None = None,
         drift: int = 0,
         trained_on: int | None = None,
-    ):
+    ) -> None:
         self.metric = metric
         self.params = params
         # Kernel-layout contract: the code matrix is always C-contiguous

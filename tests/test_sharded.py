@@ -370,3 +370,58 @@ class TestProcessPools:
         sharded.close()
         with pytest.raises(RuntimeError, match="closed"):
             sharded.search(_queries(28, m=2))
+
+
+class TestLinterDrivenRegressions:
+    """Pins for the true positives `repro lint` flagged in this tree."""
+
+    def test_worker_cache_token_is_deterministic(self):
+        # The worker-cache token was uuid.uuid4() — entropy in library
+        # code (determinism rule).  It only needs per-process
+        # uniqueness, so it is now a counter; same-process instances
+        # must still get distinct tokens.
+        import re
+
+        pts = _points(30, n=60)
+        a = ShardedIndex.build(pts, method="vamana", shards=2, seed=30)
+        b = ShardedIndex.build(pts, method="vamana", shards=2, seed=30)
+        try:
+            assert re.fullmatch(r"sharded-\d+", a._token)
+            assert re.fullmatch(r"sharded-\d+", b._token)
+            assert a._token != b._token
+        finally:
+            a.close()
+            b.close()
+
+    def test_arena_create_releases_shm_on_failure(self, monkeypatch):
+        # SharedArena.create leaked the segment if anything failed
+        # between SharedMemory() and the return (arena-hygiene rule).
+        # Force a failure mid-create and verify the segment is gone.
+        from multiprocessing import shared_memory as real_shared_memory
+
+        from repro.metrics import arena as arena_mod
+
+        created: list[str] = []
+        real_cls = real_shared_memory.SharedMemory
+
+        class Recording(real_cls):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                created.append(self.name)
+
+        monkeypatch.setattr(
+            arena_mod.shared_memory, "SharedMemory", Recording
+        )
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("injected failure after segment creation")
+
+        monkeypatch.setattr(arena_mod, "ArenaSpec", boom)
+
+        with pytest.raises(RuntimeError, match="injected failure"):
+            arena_mod.SharedArena.create(_points(31, n=8))
+
+        assert created, "the recording wrapper never saw a segment"
+        for name in created:
+            with pytest.raises(FileNotFoundError):
+                real_cls(name=name)
