@@ -1,0 +1,200 @@
+"""PR 9 — beyond-RAM indexes: the v5 disk directory vs the v4 .npz.
+
+The claim under test: a persisted index should *open* in O(header)
+time, not O(index) time, and should answer bit-identically while
+keeping only the hot tier (quantized codes + CSR adjacency) resident —
+the full-precision ``vectors.bin`` stays on disk behind ``np.memmap``
+and is paged in only by the exact-rerank gather.
+
+* ``test_disk_smoke_gate`` — the CI gate: on the seeded 10k workload a
+  v5 save/reopen with ``mmap=True`` answers with ids and distances
+  bit-identical to the in-RAM index, opens under a pinned wall-clock
+  bound, and the traversal-resident vector bytes do not exceed the
+  quantized-code footprint;
+* ``test_disk_acceptance_200k`` — the committed acceptance record: at
+  n=200k the v5 mmap open is >= 100x faster than the v4 eager load,
+  plus the ``compress=False`` save-time delta for the npz path.
+
+Results persist to ``results/bench_disk.json`` (+ a text table).
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from benchmarks.conftest import RESULTS_DIR, write_table
+from repro import ProximityGraphIndex, SearchParams, load_any
+from repro.core import compute_ground_truth_k
+from repro.core.stats import recall_at_k
+from repro.metrics import Dataset, EuclideanMetric
+from repro.workloads import gaussian_clusters, uniform_queries
+
+EPS = 1.0
+K = 10
+D = 16
+BEAM_WIDTH = 64
+STORAGE = "sq8"  # the intended beyond-RAM configuration: 8x hot-tier shrink
+
+# The CI gate's cold-open bound: attaching a v5 directory is a header
+# parse plus O(arrays) memmap calls — milliseconds at any n.  0.25 s
+# leaves two orders of magnitude of headroom for a loaded CI runner.
+GATE_OPEN_SECONDS = 0.25
+
+
+def _workload(n: int, m_queries: int):
+    pts = gaussian_clusters(n, D, np.random.default_rng(11), clusters=20)
+    rng = np.random.default_rng(2025)
+    queries = uniform_queries(m_queries, pts, rng)
+    gt, _ = compute_ground_truth_k(Dataset(EuclideanMetric(), pts), queries, k=K)
+    return pts, queries, gt
+
+
+def _build(pts) -> ProximityGraphIndex:
+    return ProximityGraphIndex.build(
+        pts, epsilon=EPS, method="vamana", seed=42, storage=STORAGE,
+        batch_size=max(32, min(2048, len(pts) // 8)),
+    )
+
+
+def _measure(index, queries, gt) -> dict:
+    """Save v4 (compressed + not) and v5, time every (re)open, and pin
+    the mmap index's answers against the in-RAM index."""
+    params = SearchParams(beam_width=BEAM_WIDTH, seed=7)
+    want = index.search(queries, k=K, params=params)
+    out: dict = {"n": int(index.n), "queries": int(len(queries))}
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp = Path(tmp)
+
+        t0 = time.perf_counter()
+        npz = index.save(tmp / "v4.npz")
+        out["v4_save_seconds"] = round(time.perf_counter() - t0, 4)
+        t0 = time.perf_counter()
+        index.save(tmp / "v4_fast.npz", compress=False)
+        out["v4_save_uncompressed_seconds"] = round(time.perf_counter() - t0, 4)
+        t0 = time.perf_counter()
+        disk = index.save(tmp / "v5", format="disk")
+        out["v5_save_seconds"] = round(time.perf_counter() - t0, 4)
+
+        out["v4_bytes"] = npz.stat().st_size
+        out["v4_uncompressed_bytes"] = (tmp / "v4_fast.npz").stat().st_size
+        out["v5_bytes"] = sum(p.stat().st_size for p in disk.iterdir())
+
+        t0 = time.perf_counter()
+        eager = load_any(npz)
+        out["v4_load_seconds"] = round(time.perf_counter() - t0, 4)
+        t0 = time.perf_counter()
+        load_any(tmp / "v4_fast.npz")
+        out["v4_load_uncompressed_seconds"] = round(
+            time.perf_counter() - t0, 4
+        )
+        t0 = time.perf_counter()
+        mapped = load_any(disk)
+        out["v5_open_seconds"] = round(time.perf_counter() - t0, 4)
+        out["cold_open_speedup"] = round(
+            out["v4_load_seconds"] / max(out["v5_open_seconds"], 1e-9), 1
+        )
+
+        got = mapped.search(queries, k=K, params=params)
+        out["ids_bit_identical"] = bool(
+            np.array_equal(want.ids, got.ids)
+            and np.array_equal(want.distances, got.distances)
+        )
+        out["recall_at_10"] = round(
+            recall_at_k(mapped, queries, gt, K, params=params), 4
+        )
+        out["recall_at_10_ram"] = round(
+            recall_at_k(index, queries, gt, K, params=params), 4
+        )
+
+        # Criterion (b): what traversal keeps resident.  The hot tier is
+        # the quantized codes; vectors.bin is mapped, not resident.
+        store = mapped.store
+        out["traversal_resident_bytes"] = int(
+            store.traversal_bytes_per_vector() * store.n
+        )
+        out["code_footprint_bytes"] = int(store.codes.nbytes)
+        out["cold_tier_bytes"] = int(
+            np.asarray(mapped.dataset.points).nbytes
+        )
+        out["eager_points_is_ram"] = not isinstance(
+            eager.dataset.points, np.memmap
+        )
+        out["mapped_points_is_mmap"] = isinstance(
+            mapped.dataset.points, np.memmap
+        )
+    return out
+
+
+def _write_json(key: str, record) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "bench_disk.json"
+    data = json.loads(path.read_text()) if path.exists() else {}
+    data[key] = record
+    path.write_text(json.dumps(data, indent=2) + "\n")
+
+
+def _assert_quality(r: dict) -> None:
+    assert r["ids_bit_identical"], (
+        "mmap-backed search diverged from the in-RAM index"
+    )
+    assert r["recall_at_10"] == r["recall_at_10_ram"]
+    assert r["traversal_resident_bytes"] <= r["code_footprint_bytes"], (
+        f"traversal keeps {r['traversal_resident_bytes']} bytes resident, "
+        f"more than the {r['code_footprint_bytes']}-byte code footprint"
+    )
+    assert r["mapped_points_is_mmap"]
+
+
+def test_disk_smoke_gate():
+    """CI gate: v5 reopen is bit-identical and opens in milliseconds."""
+    pts, queries, gt = _workload(10_000, 300)
+    r = _measure(_build(pts), queries, gt)
+    _write_json("gate_10k", r)
+    _assert_quality(r)
+    assert r["v5_open_seconds"] < GATE_OPEN_SECONDS, (
+        f"v5 open took {r['v5_open_seconds']} s; the attach path must be "
+        f"O(header), bound {GATE_OPEN_SECONDS} s"
+    )
+
+
+def test_disk_acceptance_200k():
+    """Acceptance record: >= 100x faster cold open than v4 at n=200k."""
+    pts, queries, gt = _workload(200_000, 300)
+    r = _measure(_build(pts), queries, gt)
+    _write_json("acceptance_200k", r)
+    _assert_quality(r)
+    assert r["cold_open_speedup"] >= 100, (
+        f"v5 open is only {r['cold_open_speedup']}x faster than the v4 "
+        "eager load (need >= 100x at n=200k)"
+    )
+    assert r["v4_save_uncompressed_seconds"] <= r["v4_save_seconds"]
+    write_table(
+        "bench_disk",
+        f"PR 9: v5 disk directory vs v4 .npz (vamana+{STORAGE}, "
+        f"n={r['n']}, d={D}, beam={BEAM_WIDTH})",
+        ["format", "save s", "open s", "bytes"],
+        [
+            ["v4 npz (compressed)", r["v4_save_seconds"],
+             r["v4_load_seconds"], r["v4_bytes"]],
+            ["v4 npz (compress=False)", r["v4_save_uncompressed_seconds"],
+             r["v4_load_uncompressed_seconds"], r["v4_uncompressed_bytes"]],
+            ["v5 disk dir (mmap)", r["v5_save_seconds"],
+             r["v5_open_seconds"], r["v5_bytes"]],
+        ],
+        notes=(
+            f"v5 opens {r['cold_open_speedup']}x faster than the v4 eager "
+            "load because attach is a header parse + np.memmap calls — no "
+            "array is read until touched.  Traversal keeps "
+            f"{r['traversal_resident_bytes']} code bytes resident "
+            f"({r['code_footprint_bytes']} footprint) and leaves the "
+            f"{r['cold_tier_bytes']}-byte float64 cold tier on disk; the "
+            "exact-rerank gather pages candidate rows in ascending-offset "
+            "order.  Search answers are bit-identical to the in-RAM index "
+            f"(recall@10 {r['recall_at_10']})."
+        ),
+    )

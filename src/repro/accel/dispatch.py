@@ -313,6 +313,16 @@ def _plan(dataset: Any, store: Any, Q: Any) -> _Plan:
     The distance *view* (the numpy oracle) is built exactly as the
     engines build it — it seeds start distances and re-evaluates every
     reported candidate, which is what makes results bit-identical.
+
+    Memmap-backed arrays (a v5 disk-tier index's codes, points, and CSR
+    mappings) pass through without copying: every export below goes via
+    ``np.ascontiguousarray`` with the array's native dtype, which on an
+    already C-contiguous mapping returns a zero-copy ndarray view — the
+    kernels then read straight from the page cache, and the hot tier's
+    lazy-attach property survives compiled traversal (pinned by
+    ``tests/test_persistence_disk.py``).  A ``DiskTierStore`` is
+    invisible here: it delegates ``kind``/``codes``/``params``/
+    ``metric``/``bind`` to its inner store.
     """
     plan = _Plan()
     plan.data = _EMPTY_F2

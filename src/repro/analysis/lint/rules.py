@@ -16,6 +16,10 @@ breaks:
 ``arena-hygiene``         every ``SharedArena``/``SharedMemory``
                           creation pairs with close/unlink in a
                           ``finally`` or context manager
+``mmap-hygiene``          every ``np.memmap``/``mmap.mmap`` acquisition
+                          is context-managed, explicitly closed, or
+                          ownership-transferred (returned / stored on
+                          an owning object)
 ``kernel-parity``         the accel planner covers every store kind ×
                           metric the engines accept, and the C build
                           keeps ``-ffp-contract=off``
@@ -49,6 +53,7 @@ __all__ = [
     "AsyncLockHeldRule",
     "DeterminismRule",
     "KernelParityRule",
+    "MmapHygieneRule",
     "ShimShapeRule",
     "SpawnSafetyRule",
     "TypingCompleteRule",
@@ -602,6 +607,125 @@ class ArenaHygieneRule(Rule):
 
 
 # ----------------------------------------------------------------------
+# mmap-hygiene
+# ----------------------------------------------------------------------
+
+_MMAP_CREATORS = frozenset({"np.memmap", "numpy.memmap", "memmap", "mmap.mmap"})
+
+
+def _is_mmap_creation(node: ast.Call) -> str | None:
+    name = _dotted(node.func)
+    if name is None:
+        return None
+    if name in _MMAP_CREATORS:
+        return name
+    tail2 = ".".join(name.split(".")[-2:])
+    if tail2 in ("np.memmap", "numpy.memmap", "mmap.mmap"):
+        return tail2
+    return None
+
+
+class MmapHygieneRule(Rule):
+    """Every memory mapping must have a visible owner or release path.
+
+    The file-descriptor/mapping behind ``np.memmap`` (and a raw
+    ``mmap.mmap``) lives until the object is collected — an anonymous
+    mapping built mid-expression and dropped on an exception keeps the
+    fd pinned, and on Windows keeps the file locked.  Mirror of
+    ``arena-hygiene``, with ownership transfer broadened to match how
+    the v5 disk tier threads mappings around: a creation must be
+    (a) a context manager, (b) part of a ``return`` expression
+    (ownership leaves with the value — the adopting dataset / store /
+    graph holds the mapping for its lifetime), (c) stored on an
+    attribute (owned by an object with its own lifecycle), or (d) bound
+    to a local that is closed in a ``finally``.
+    """
+
+    id = "mmap-hygiene"
+    rationale = (
+        "an unowned memory mapping pins its file descriptor until GC; "
+        "context-manage it, return it (ownership transfer), store it "
+        "on an owning object, or close it in a finally"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[tuple[ast.AST | int, str]]:
+        parents: dict[ast.AST, ast.AST] = {}
+        for node in ast.walk(ctx.tree):
+            for child in ast.iter_child_nodes(node):
+                parents[child] = node
+
+        def enclosing_function(node: ast.AST) -> ast.AST | None:
+            cur = parents.get(node)
+            while cur is not None:
+                if isinstance(cur, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    return cur
+                cur = parents.get(cur)
+            return None
+
+        def under_with(node: ast.AST) -> bool:
+            cur, prev = parents.get(node), node
+            while cur is not None:
+                if isinstance(cur, ast.withitem) and cur.context_expr is prev:
+                    return True
+                prev, cur = cur, parents.get(cur)
+            return False
+
+        def enclosing_statement(node: ast.AST) -> ast.AST | None:
+            cur = node
+            while cur is not None and not isinstance(cur, ast.stmt):
+                cur = parents.get(cur)
+            return cur
+
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            what = _is_mmap_creation(node)
+            if what is None:
+                continue
+            if under_with(node):
+                continue
+            stmt = enclosing_statement(node)
+            if isinstance(stmt, ast.Return):
+                continue  # ownership transferred with the return value
+            if isinstance(stmt, ast.Assign) and all(
+                isinstance(t, ast.Attribute) for t in stmt.targets
+            ):
+                continue  # owned by the object; released with it
+            if (
+                isinstance(stmt, ast.Assign)
+                and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)
+                and stmt.value is node
+            ):
+                fn = enclosing_function(node)
+                if fn is not None and self._closed_in_finally(
+                    fn, stmt.targets[0].id
+                ):
+                    continue
+            yield (
+                node,
+                f"{what}(...) is neither context-managed, returned, "
+                "stored on an owning object, nor closed in a finally — "
+                "the mapping (and its fd) leaks until GC on the first "
+                "exception",
+            )
+
+    @staticmethod
+    def _closed_in_finally(fn: ast.AST, name: str) -> bool:
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Try) or not node.finalbody:
+                continue
+            for stmt in node.finalbody:
+                for sub in ast.walk(stmt):
+                    if isinstance(sub, ast.Call) and _dotted(sub.func) in (
+                        f"{name}.close",
+                        f"{name}._mmap.close",
+                    ):
+                        return True
+        return False
+
+
+# ----------------------------------------------------------------------
 # kernel-parity
 # ----------------------------------------------------------------------
 
@@ -936,6 +1060,7 @@ ALL_RULES: tuple[type[Rule], ...] = (
     AsyncLockHeldRule,
     SpawnSafetyRule,
     ArenaHygieneRule,
+    MmapHygieneRule,
     KernelParityRule,
     ShimShapeRule,
     UnusedSymbolRule,

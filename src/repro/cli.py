@@ -11,7 +11,9 @@ graphs from the shell.
     python -m repro save-index points.npy index.npz --method vamana
     python -m repro save-index points.npy index_dir --shards 4 --workers 4
     python -m repro save-index points.npy index.npz --storage pq
+    python -m repro save-index points.npy index.v5 --format disk
     python -m repro load-index index.npz --q 0.25 0.75
+    python -m repro load-index index.v5 --mmap --q 0.25 0.75
     python -m repro search index.npz --q 0.25 0.75 --k 10 --beam-width 32
     python -m repro search index.npz --q 0.25 0.75 --k 10 --rerank-factor 4
     python -m repro search index_dir --queries-file queries.npy --k 10 --workers 4
@@ -36,6 +38,10 @@ info``) accepts either kind transparently.  ``save-index --storage
 compressed codes and exact-rerank; tune with ``search
 --rerank-factor``); ``index info`` prints the memory breakdown and
 ``bench-storage`` compares the three storages on one workload.
+``save-index --format disk`` writes the memory-mappable v5 directory
+(``--no-compress`` speeds up the npz path); ``load-index``/``serve``
+``--mmap`` lazily attach it so the index opens in milliseconds and the
+full-precision vectors stay on disk until the exact-rerank stage.
 """
 
 from __future__ import annotations
@@ -304,9 +310,15 @@ def _cmd_save_index(args: argparse.Namespace) -> int:
                 storage=args.storage,
             )
         )
-    written = index.save(args.index)
+    written, save_seconds = timed(
+        lambda: index.save(
+            args.index, format=args.format, compress=not args.no_compress
+        )
+    )
     out = dict(index.stats())
     out["build_seconds"] = round(seconds, 3)
+    out["save_seconds"] = round(save_seconds, 3)
+    out["format"] = args.format
     out["index_file"] = str(written)
     if args.batch_size is not None:
         out["batch_size"] = args.batch_size
@@ -317,7 +329,7 @@ def _cmd_save_index(args: argparse.Namespace) -> int:
 def _cmd_load_index(args: argparse.Namespace) -> int:
     """Load a saved index (either kind); print its stats, optionally
     answer a query through the unified front door."""
-    index = load_any(args.index)
+    index = load_any(args.index, mmap=True if args.mmap else None)
     out = dict(index.stats())
     if args.q is not None:
         q = np.array(args.q, dtype=np.float64)
@@ -420,13 +432,22 @@ def _cmd_index_info(args: argparse.Namespace) -> int:
     checks (CSR shape, id-map/tombstone consistency, manifest shard
     agreement) and exits nonzero on any violated invariant."""
     if getattr(args, "validate", False):
-        # Manifest agreement is checked *before* loading: a manifest
-        # whose shard count disagrees with its files should name the
-        # invariant, not die inside the loader.
+        # On-disk agreement is checked *before* loading: a manifest
+        # whose shard count disagrees with its files — or a v5 disk
+        # directory whose header disagrees with its raw array files —
+        # should name the invariant, not die inside the loader.
         if Path(args.index).is_dir():
-            from repro.core.integrity import check_sharded_manifest
+            from repro.core.integrity import (
+                check_disk_layout,
+                check_sharded_manifest,
+            )
+            from repro.core.persistence import DISK_HEADER_NAME
 
-            pre = check_sharded_manifest(args.index)
+            pre = (
+                check_disk_layout(args.index)
+                if (Path(args.index) / DISK_HEADER_NAME).is_file()
+                else check_sharded_manifest(args.index)
+            )
             if pre:
                 for violation in pre:
                     print(f"INTEGRITY VIOLATION: {violation}", file=sys.stderr)
@@ -555,7 +576,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.serve import IndexHolder, SearchServer
 
-    index = load_any(args.index)
+    index = load_any(args.index, mmap=True if args.mmap else None)
     if args.workers is not None and isinstance(index, ShardedIndex):
         index.workers = args.workers
     server = SearchServer(
@@ -702,6 +723,13 @@ def _parser() -> argparse.ArgumentParser:
     p.add_argument("--storage", default="flat", choices=list(STORAGE_KINDS),
                    help="vector storage: flat (exact), sq8 (8-bit scalar "
                    "quantization), pq (product quantization + ADC)")
+    p.add_argument("--format", default="npz", choices=["npz", "disk"],
+                   help="persistence format: npz (single compressed file, "
+                   "v4) or disk (v5 directory of raw array files that "
+                   "load/serve --mmap attach lazily)")
+    p.add_argument("--no-compress", action="store_true",
+                   help="npz format only: write np.savez instead of "
+                   "savez_compressed (bigger file, much faster save)")
     p.set_defaults(fn=_cmd_save_index)
 
     p = sub.add_parser(
@@ -712,6 +740,10 @@ def _parser() -> argparse.ArgumentParser:
     p.add_argument("--q", type=float, nargs="+", default=None)
     p.add_argument("--k", type=int, default=1)
     p.add_argument("--start", type=int, default=None)
+    p.add_argument("--mmap", action="store_true",
+                   help="lazily attach a disk-format (v5) index via "
+                   "np.memmap instead of reading it into RAM (error on "
+                   ".npz files — re-save with --format disk)")
     p.set_defaults(fn=_cmd_load_index)
 
     p = sub.add_parser(
@@ -821,7 +853,13 @@ def _parser() -> argparse.ArgumentParser:
         help="serve a saved index over HTTP (coalesced micro-batching; "
         "POST /search /add /delete, GET /healthz /stats)",
     )
-    p.add_argument("index", help="saved index (.npz file or manifest dir)")
+    p.add_argument("index", help="saved index (.npz file, manifest dir, "
+                   "or v5 disk dir)")
+    p.add_argument("--mmap", action="store_true",
+                   help="serve a disk-format (v5) index straight off its "
+                   "memory-mapped files: millisecond start, vectors paged "
+                   "in only at rerank; add/delete still work (mutations "
+                   "materialize copy-on-write, never write the mapping)")
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=8080)
     p.add_argument("--max-batch", type=int, default=64,

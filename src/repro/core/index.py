@@ -381,12 +381,16 @@ class ProximityGraphIndex:
             ids[:, 0] = self.id_map.to_external([r.point for r in results])
             evals[:] = [r.distance_evals for r in results]
             if quantized:
-                # The walk measured code distances; report the exact one.
+                # The walk measured code distances; report the exact one
+                # (through the store's rerank hook, so a disk-tier store
+                # is the only thing that touches full-precision rows).
                 for i, r in enumerate(results):
                     if r.point >= 0:
-                        dists[i, 0] = self._to_original(
-                            self.dataset.distance_to_query(Q[i], r.point)
+                        exact1 = store.rerank_distances(
+                            self.dataset, Q[i],
+                            np.asarray([r.point], dtype=np.intp),
                         )
+                        dists[i, 0] = self._to_original(float(exact1[0]))
                         evals[i] += 1
             else:
                 dists[:, 0] = [self._to_original(r.distance) for r in results]
@@ -438,7 +442,10 @@ class ProximityGraphIndex:
                     (v for v, _ in pairs), dtype=np.intp, count=len(pairs)
                 )
                 if quantized:
-                    exact = self.dataset.distances_to_query(Q[i], cand)
+                    # store.rerank_distances == dataset.distances_to_query
+                    # bit-for-bit; disk-tier stores gather the rows in
+                    # ascending file-offset order first.
+                    exact = store.rerank_distances(self.dataset, Q[i], cand)
                     ev += len(cand)
                 else:
                     exact = np.fromiter(
@@ -848,29 +855,40 @@ class ProximityGraphIndex:
     # Persistence (single-file .npz; see repro.core.persistence)
     # ------------------------------------------------------------------
 
-    def save(self, path: Any) -> Any:
-        """Serialize this index to one ``.npz`` file (format v4).
+    def save(
+        self, path: Any, format: str = "npz", compress: bool = True
+    ) -> Any:
+        """Serialize this index — one ``.npz`` file (format v4) by
+        default, or a v5 disk directory with ``format="disk"``.
 
-        The file holds the graph's CSR arrays verbatim, the normalized
-        points, the external id map and tombstone mask, the vector
-        store's codes + training state (codebooks / scales, when
+        Either form holds the graph's CSR arrays verbatim, the
+        normalized points, the external id map and tombstone mask, the
+        vector store's codes + training state (codebooks / scales, when
         quantized), and a JSON header with the builder provenance,
         scale, build options, metric spec, and storage spec — a loaded
         index answers :meth:`search` with identical ids and distances.
-        Indexes over non-coordinate metrics (counting wrappers, tree
-        metrics, explicit matrices) raise :class:`NotImplementedError`
-        instead of pickling.
+        ``compress=False`` trades ``.npz`` file size for save speed;
+        the disk format writes raw files and ignores it.  Indexes over
+        non-coordinate metrics (counting wrappers, tree metrics,
+        explicit matrices) raise :class:`NotImplementedError` instead
+        of pickling.
         """
         from repro.core.persistence import save_index
 
-        return save_index(self, path)
+        return save_index(self, path, format=format, compress=compress)
 
     @classmethod
-    def load(cls, path: Any) -> "ProximityGraphIndex":
-        """Load an index previously written by :meth:`save` (v1–v4)."""
+    def load(cls, path: Any, mmap: bool | None = None) -> "ProximityGraphIndex":
+        """Load an index previously written by :meth:`save` (v1–v5).
+
+        A v5 disk directory lazily attaches via ``np.memmap`` by
+        default (millisecond opens, vectors paged in only at rerank);
+        ``mmap=False`` reads it eagerly.  ``.npz`` files always load
+        eagerly and reject ``mmap=True``.
+        """
         from repro.core.persistence import load_index
 
-        return load_index(path, cls)
+        return load_index(path, cls, mmap=mmap)
 
     # ------------------------------------------------------------------
 

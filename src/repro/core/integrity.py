@@ -14,7 +14,13 @@ buggy migration, or a bad manual edit breaks first:
   *all* shards of a sharded index);
 * the vector store holds exactly ``n`` codes/points;
 * a sharded manifest's declared shard count agrees with the files it
-  lists **and** with the files actually on disk.
+  lists **and** with the files actually on disk;
+* a v5 disk directory's ``header.json`` array manifest agrees with the
+  raw files next to it — every declared file present, every file
+  exactly ``dtype * prod(shape)`` bytes (a truncated ``vectors.bin``
+  or hand-edited header fails here, by name, before anything attaches)
+  — and the CSR arrays it maps pass the same structural checks a live
+  graph would.
 
 Every violation names its invariant (``csr-offsets-monotone``,
 ``manifest-shard-count``, ...) so a failing ``repro index info
@@ -37,6 +43,7 @@ __all__ = [
     "check_flat_index",
     "check_sharded_index",
     "check_sharded_manifest",
+    "check_disk_layout",
     "integrity_report",
 ]
 
@@ -186,12 +193,111 @@ def check_sharded_manifest(path: str | Path) -> list[str]:
             f"manifest-shard-count: manifest declares {declared} shards "
             f"but lists {len(shard_files)} shard file(s)"
         )
-    missing = [f for f in shard_files if not (directory / f).is_file()]
+    # A shard entry is a .npz file or (shard_format="disk") a v5
+    # directory; either way it must exist.
+    missing = [f for f in shard_files if not (directory / f).exists()]
     if missing:
         violations.append(
             f"manifest-shard-files: {len(missing)} listed shard file(s) "
             f"missing on disk: {missing}"
         )
+    return violations
+
+
+def _map_array(
+    file_path: Path, dtype: np.dtype, shape: tuple[int, ...]
+) -> np.ndarray:
+    """A read-only mapping of one raw array file, owned by the caller
+    (released with the last reference; zero-size arrays need no file)."""
+    if int(np.prod(shape, dtype=np.int64)) == 0:
+        return np.empty(shape, dtype=dtype)
+    return np.memmap(file_path, dtype=dtype, mode="r", shape=shape)
+
+
+def check_disk_layout(path: str | Path) -> list[str]:
+    """Structural violations of one v5 disk directory (pre-attach).
+
+    Validates the layer :func:`repro.core.persistence.load_index`
+    skips on its millisecond mmap path: that ``header.json`` parses,
+    declares the right version/kind, that every array it lists exists
+    with exactly ``dtype * prod(shape)`` bytes, that per-point arrays
+    hold ``n`` rows — and, when the sizes allow it, that the mapped
+    CSR arrays satisfy the same shape/monotonicity/range invariants a
+    live graph enforces.  Every violation names its invariant
+    (``disk-file-missing``, ``disk-array-size``, ...).
+    """
+    from repro.core.persistence import DISK_FORMAT_VERSION, DISK_HEADER_NAME
+
+    directory = Path(path)
+    header_path = directory / DISK_HEADER_NAME
+    if not header_path.is_file():
+        return [
+            f"disk-header-missing: {directory} has no {DISK_HEADER_NAME}; "
+            "not a v5 disk-index directory"
+        ]
+    try:
+        header = json.loads(header_path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"disk-header-unreadable: cannot parse {header_path}: {exc}"]
+    violations: list[str] = []
+    version = header.get("format_version")
+    if version != DISK_FORMAT_VERSION or header.get("kind") != "disk-index":
+        return [
+            f"disk-header-version: {header_path} declares "
+            f"format_version={version!r}, kind={header.get('kind')!r}; "
+            f"expected {DISK_FORMAT_VERSION} / 'disk-index'"
+        ]
+    entries = header.get("arrays")
+    if not isinstance(entries, dict):
+        return [f"disk-manifest-missing: {header_path} lists no arrays"]
+    required = (
+        "csr_offsets", "csr_targets", "vectors", "external_ids", "tombstones"
+    )
+    for stem in required:
+        if stem not in entries:
+            violations.append(
+                f"disk-array-missing: {header_path} declares no entry for "
+                f"required array {stem!r}"
+            )
+    sized: dict[str, tuple[np.dtype, tuple[int, ...]]] = {}
+    for stem, entry in entries.items():
+        file_path = directory / entry["file"]
+        if not file_path.is_file():
+            violations.append(
+                f"disk-file-missing: declared array file {entry['file']} "
+                "does not exist"
+            )
+            continue
+        dtype = np.dtype(entry["dtype"])
+        shape = tuple(int(s) for s in entry["shape"])
+        expected = dtype.itemsize * int(np.prod(shape, dtype=np.int64))
+        actual = file_path.stat().st_size
+        if actual != expected:
+            violations.append(
+                f"disk-array-size: {entry['file']} holds {actual} bytes "
+                f"but {DISK_HEADER_NAME} declares {dtype} x {shape} = "
+                f"{expected} bytes"
+            )
+            continue
+        sized[stem] = (dtype, shape)
+    n = int(header.get("n", -1))
+    for stem in ("vectors", "external_ids", "tombstones"):
+        if stem in sized and sized[stem][1][0] != n:
+            violations.append(
+                f"disk-array-rows: {entries[stem]['file']} holds "
+                f"{sized[stem][1][0]} rows but {DISK_HEADER_NAME} declares "
+                f"n={n}"
+            )
+    if "csr_offsets" in sized and "csr_targets" in sized:
+        # The deep check the mmap load path defers: map the CSR arrays
+        # (read-only, paged on demand) and run the live-graph checks.
+        offsets = _map_array(
+            directory / entries["csr_offsets"]["file"], *sized["csr_offsets"]
+        )
+        targets = _map_array(
+            directory / entries["csr_targets"]["file"], *sized["csr_targets"]
+        )
+        violations.extend(_check_csr(n, offsets, targets))
     return violations
 
 
@@ -205,6 +311,10 @@ def check_index(index: Any, path: str | Path | None = None) -> list[str]:
             violations = check_sharded_manifest(path) + violations
     else:
         violations = check_flat_index(index)
+        if path is not None and Path(path).is_dir():
+            # A flat index loaded from a directory is the v5 disk
+            # layout; validate the on-disk files against their header.
+            violations = check_disk_layout(path) + violations
     return violations
 
 
@@ -230,6 +340,16 @@ def integrity_report(
         + (
             ["manifest-shard-count", "manifest-shard-files"]
             if hasattr(index, "shards")
+            else []
+        )
+        + (
+            [
+                "disk-header (missing/unreadable/version)",
+                "disk-array (missing/size/rows)",
+                "disk-file-missing",
+            ]
+            if path is not None and Path(path).is_dir()
+            and not hasattr(index, "shards")
             else []
         ),
     }

@@ -169,24 +169,49 @@ class IdMap:
     ``compact``, or a ``save``/``load`` round trip.
     """
 
-    def __init__(self, externals: Sequence[int] | None = None) -> None:
-        self._ext = (
-            np.asarray(externals, dtype=np.int64).copy()
+    def __init__(
+        self,
+        externals: Sequence[int] | None = None,
+        *,
+        validated: bool = False,
+    ) -> None:
+        ext = (
+            np.asarray(externals, dtype=np.int64)
             if externals is not None
             else np.empty(0, dtype=np.int64)
         )
+        # validated=True also transfers ownership: the caller (the v5
+        # loader) hands over a freshly-read private array, and _ext is
+        # only ever rebound (never written in place), so adopting it is
+        # safe and keeps the attach path copy-free.
+        self._ext = ext if validated else ext.copy()
         if self._ext.ndim != 1:
             raise ValueError("external ids must be a flat sequence")
         if len(self._ext) and self._ext.min() < 0:
             # -1 is the not-found sentinel in SearchResult rows; negative
             # ids would be indistinguishable from padding.
             raise ValueError("external ids must be non-negative")
-        self._int: dict[int, int] = {}
-        for i, e in enumerate(self._ext.tolist()):
-            if e in self._int:
-                raise ValueError(f"duplicate external id {e}")
-            self._int[e] = i
+        if not validated and len(self._ext):
+            uniq, counts = np.unique(self._ext, return_counts=True)
+            if uniq.size != self._ext.size:
+                raise ValueError(
+                    f"duplicate external id {int(uniq[counts > 1][0])}"
+                )
+        # The external -> internal dict is built lazily on first lookup:
+        # construction stays O(n) vectorized, which keeps the v5 mmap
+        # attach path (``validated=True`` — uniqueness was enforced when
+        # the file was written; ``repro index info --validate`` re-checks
+        # on demand) free of any per-element Python loop.
+        self._reverse: dict[int, int] | None = None
         self._next = int(self._ext.max()) + 1 if len(self._ext) else 0
+
+    @property
+    def _int(self) -> dict[int, int]:
+        if self._reverse is None:
+            self._reverse = {
+                int(e): i for i, e in enumerate(self._ext.tolist())
+            }
+        return self._reverse
 
     @classmethod
     def identity(cls, n: int) -> "IdMap":
@@ -292,6 +317,8 @@ class IdMap:
         other (the snapshot-isolation hook of ``index.snapshot()``)."""
         out = IdMap.__new__(IdMap)
         out._ext = self._ext.copy()
-        out._int = dict(self._int)
+        out._reverse = (
+            None if self._reverse is None else dict(self._reverse)
+        )
         out._next = self._next
         return out

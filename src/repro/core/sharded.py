@@ -1163,20 +1163,27 @@ class ShardedIndex:
         out["accel"] = accel.backend_status()
         return out
 
-    def save(self, path: Any) -> Path:
-        """Persist as a format-v3 manifest directory (one v2 ``.npz``
-        per shard); see :func:`repro.core.persistence.save_sharded_index`.
+    def save(
+        self, path: Any, format: str = "npz", compress: bool = True
+    ) -> Path:
+        """Persist as a format-v3 manifest directory (one ``.npz`` — or,
+        with ``format="disk"``, one v5 directory — per shard); see
+        :func:`repro.core.persistence.save_sharded_index`.
         """
         from repro.core.persistence import save_sharded_index
 
-        return save_sharded_index(self, path)
+        return save_sharded_index(self, path, format=format, compress=compress)
 
     @classmethod
-    def load(cls, path: Any) -> "ShardedIndex":
-        """Load a directory written by :meth:`save`."""
+    def load(cls, path: Any, mmap: bool | None = None) -> "ShardedIndex":
+        """Load a directory written by :meth:`save`.
+
+        ``format="disk"`` shards lazily mmap-attach by default; pass
+        ``mmap=False`` to read them eagerly into RAM.
+        """
         from repro.core.persistence import load_sharded_index
 
-        return load_sharded_index(path, cls)
+        return load_sharded_index(path, cls, mmap=mmap)
 
     # ------------------------------------------------------------------
 

@@ -33,12 +33,14 @@ from repro.storage.base import (
     VectorStore,
     decompose_metric,
 )
+from repro.storage.disk import DiskTierStore, advise_memmap
 from repro.storage.flat import FlatStore
 from repro.storage.pq import PQParams, PQStore, encode_pq, train_pq
 from repro.storage.sq8 import SQ8Params, SQ8Store, encode_sq8, train_sq8
 
 __all__ = [
     "STORAGE_KINDS",
+    "DiskTierStore",
     "FlatQueryView",
     "FlatStore",
     "PQParams",
@@ -50,6 +52,7 @@ __all__ = [
     "StorageConfigError",
     "StorageError",
     "VectorStore",
+    "advise_memmap",
     "decompose_metric",
     "encode_with_params",
     "make_store",

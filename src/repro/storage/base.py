@@ -180,6 +180,19 @@ class VectorStore(ABC):
     def bind(self, Q: Any) -> QueryDistanceView:
         """Bind a query batch; per-batch work (PQ's ADC LUTs) runs here."""
 
+    def rerank_distances(self, dataset: Any, q: Any, cand: np.ndarray) -> np.ndarray:
+        """Exact distances from query ``q`` to candidate rows ``cand``.
+
+        The hook the two-stage search's exact-rerank pass calls instead
+        of touching ``dataset.points`` directly, so a store that knows
+        *where* the full-precision vectors live can gather them well.
+        The in-RAM default delegates to the dataset verbatim;
+        :class:`~repro.storage.disk.DiskTierStore` overrides it with an
+        ascending-offset gather over the memory-mapped cold tier.  Every
+        override must return distances bit-identical to this default.
+        """
+        return dataset.distances_to_query(q, cand)
+
     # -- collection lifecycle ------------------------------------------
 
     @abstractmethod

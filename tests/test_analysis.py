@@ -450,6 +450,124 @@ class TestArenaHygieneRule:
 
 
 # ----------------------------------------------------------------------
+# mmap-hygiene
+# ----------------------------------------------------------------------
+
+
+class TestMmapHygieneRule:
+    def test_unowned_local_mapping_fires(self):
+        hits = run_rule(
+            """
+            import numpy as np
+
+            def peek(path, shape):
+                arr = np.memmap(path, dtype="float64", mode="r", shape=shape)
+                return float(arr[0, 0])
+            """,
+            "mmap-hygiene",
+        )
+        assert any("ownership" in f.message or "mapping" in f.message
+                   for f in hits)
+
+    def test_bare_raw_mmap_fires(self):
+        assert run_rule(
+            """
+            import mmap
+
+            def scan(fd, size):
+                buf = mmap.mmap(fd, size)
+                return buf[:16]
+            """,
+            "mmap-hygiene",
+        )
+
+    def test_return_transfer_passes(self):
+        # The v5 loader's blessed idiom: the helper returns the mapping,
+        # the adopting dataset/store/graph owns it for the index's life.
+        assert not run_rule(
+            """
+            import numpy as np
+
+            def attach(path, dtype, shape):
+                return np.memmap(path, dtype=dtype, mode="r", shape=shape)
+            """,
+            "mmap-hygiene",
+        )
+
+    def test_nested_return_transfer_passes(self):
+        # Ownership also transfers when the creation is nested inside
+        # the returned expression (the wrapper adopts the mapping).
+        assert not run_rule(
+            """
+            import numpy as np
+
+            def open_store(inner, path, shape):
+                return DiskTierStore(
+                    inner, np.memmap(path, dtype="f8", mode="r", shape=shape)
+                )
+            """,
+            "mmap-hygiene",
+        )
+
+    def test_attribute_assignment_passes(self):
+        assert not run_rule(
+            """
+            import numpy as np
+
+            class Holder:
+                def bind(self, path, shape):
+                    self._vectors = np.memmap(
+                        path, dtype="f8", mode="r", shape=shape
+                    )
+            """,
+            "mmap-hygiene",
+        )
+
+    def test_finally_close_passes(self):
+        assert not run_rule(
+            """
+            import numpy as np
+
+            def checksum(path, shape):
+                arr = np.memmap(path, dtype="f8", mode="r", shape=shape)
+                try:
+                    return float(arr.sum())
+                finally:
+                    arr._mmap.close()
+            """,
+            "mmap-hygiene",
+        )
+
+    def test_with_block_passes(self):
+        assert not run_rule(
+            """
+            import mmap
+
+            def scan(fd, size):
+                with mmap.mmap(fd, size) as buf:
+                    return buf[:16]
+            """,
+            "mmap-hygiene",
+        )
+
+    def test_suppression_comment(self):
+        findings = lint_source(
+            textwrap.dedent(
+                """
+                import numpy as np
+
+                def peek(path):
+                    arr = np.memmap(path, dtype="u1", mode="r")  # repro: ignore[mmap-hygiene]
+                    return arr[0]
+                """
+            ),
+            path="<fixture>",
+            config=LintConfig(select=frozenset({"mmap-hygiene"})),
+        )
+        assert findings and all(f.suppressed for f in findings)
+
+
+# ----------------------------------------------------------------------
 # kernel-parity
 # ----------------------------------------------------------------------
 

@@ -188,7 +188,10 @@ class TestCorruptShardedDirectories:
             load_any(saved)
 
     def test_load_index_rejects_directory(self, saved):
-        with pytest.raises(ValueError, match="is a directory"):
+        # The error must name the right loader, not just refuse.
+        with pytest.raises(
+            ValueError, match=r"manifest directory.*load_sharded_index"
+        ):
             load_index(saved)
 
     def test_resave_removes_stale_shard_files(self, saved, tmp_path):
