@@ -14,7 +14,13 @@ records both regimes:
 * the headline 10k-point clustered workload on Vamana, where the bench
   records (and asserts) the >= 3x build speedup with recall@10 within
   0.01 of the sequential build in ``results/build_throughput.json`` —
-  the acceptance gate of the batched-construction PR.
+  the acceptance gate of the batched-construction PR;
+* the compiled-construction gate: the best available accel backend
+  (numba, else cffi) must clear >= 5x over the numpy wave engine on a
+  20k-point build at a *bit-identical* graph.  The backend is warmed
+  (compiled + self-checked) before the clock — compile time reports
+  separately as ``jit_compile_seconds`` — and one small untimed
+  warm-up build runs first so the timed build measures steady state.
 
 Wave sizes follow the engine's ramp (1, 1, 2, 4, ... up to
 ``batch_size``), so early insertions never search a prefix smaller than
@@ -27,8 +33,10 @@ import json
 import time
 
 import numpy as np
+import pytest
 
 from benchmarks.conftest import RESULTS_DIR, write_table
+from repro import accel
 from repro.core import build, compute_ground_truth_k
 from repro.graphs import beam_search_batch
 from repro.metrics import Dataset, EuclideanMetric
@@ -160,6 +168,84 @@ def test_build_speedup_10k(benchmark):
         lambda: build(
             "vamana", ds, EPS, np.random.default_rng(42),
             max_degree=32, beam_width=64, batch_size=1000,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def _best_compiled() -> str | None:
+    for name in ("numba", "cffi"):
+        if name in accel.available_backends():
+            return name
+    return None
+
+
+def test_build_speedup_compiled_20k(benchmark):
+    """Compiled-construction gate: >= 5x over the numpy wave engine on a
+    20k-point build, graph bit-identical (so recall is identical too)."""
+    compiled = _best_compiled()
+    if compiled is None:
+        pytest.skip("no compiled accel backend can run here")
+    ds, queries, starts, gt10 = _workload(20_000, 4, seed=11, m_queries=500)
+    opts = {"max_degree": 32, "beam_width": 64, "batch_size": 1000}
+
+    # Warm BEFORE the clock: kernel compile (JIT or C) + self-check.
+    compile_s = accel.warm(compiled)["compile_seconds"]
+    # One untimed warm-up build over a small prefix pays any remaining
+    # lazy setup (scratch buffers, mirror packing) outside the timing.
+    warm_ds = Dataset(EuclideanMetric(), np.asarray(ds.points)[:2000])
+    build("vamana", warm_ds, EPS, np.random.default_rng(42),
+          backend=compiled, **opts)
+
+    t0 = time.perf_counter()
+    ref = build("vamana", ds, EPS, np.random.default_rng(42), **opts)
+    numpy_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    acc = build("vamana", ds, EPS, np.random.default_rng(42),
+                backend=compiled, **opts)
+    acc_s = time.perf_counter() - t0
+
+    ro, rt = ref.graph.csr()
+    ao, at = acc.graph.csr()
+    assert np.array_equal(ro, ao) and np.array_equal(rt, at), (
+        "compiled build diverged from the numpy wave build"
+    )
+    rec = _recall10(acc.graph, ds, queries, starts, gt10)
+    record = {
+        "method": "vamana",
+        "backend": compiled,
+        "n": int(ds.n),
+        "batch_size": 1000,
+        "jit_compile_seconds": round(compile_s, 3),
+        "numpy_seconds": round(numpy_s, 3),
+        "compiled_seconds": round(acc_s, 3),
+        "speedup": round(numpy_s / acc_s, 2),
+        "graph_bit_identical": True,
+        "recall_at_10": round(rec, 4),
+    }
+    write_table(
+        "build_throughput_compiled_20k",
+        f"E10c: compiled vs numpy wave construction (vamana, n=20000, eps={EPS})",
+        ["backend", "jit s", "numpy s", "compiled s", "speedup", "recall@10"],
+        [[compiled, record["jit_compile_seconds"], record["numpy_seconds"],
+          record["compiled_seconds"], record["speedup"], record["recall_at_10"]]],
+        notes=(
+            "acceptance: the compiled construction path (wave location + "
+            "whole-wave commit kernels) must clear 5x over the numpy wave "
+            "engine at a bit-identical graph; backend warmed before the "
+            "clock, one untimed warm-up build first"
+        ),
+    )
+    _write_json(f"vamana_20k_compiled_{compiled}", record)
+    assert record["speedup"] >= 5.0, (
+        f"only {record['speedup']:.2f}x compiled build speedup on 20k points"
+    )
+
+    benchmark.pedantic(
+        lambda: build(
+            "vamana", ds, EPS, np.random.default_rng(42),
+            backend=compiled, **opts,
         ),
         rounds=1,
         iterations=1,

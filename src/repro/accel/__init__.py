@@ -50,6 +50,21 @@ construction: kernels drive the traversal with their own deterministic
 float64 arithmetic, and the dispatch layer re-evaluates every reported
 candidate through the same per-batch distance view the numpy path
 uses.
+
+The *construction* inner loop is compiled the same way:
+:func:`run_construction` runs a whole insertion wave's candidate
+location (the ``construction_beam_batch`` semantics — multi-expansion
+rounds over a bounded pool with a generation-stamped visited array)
+and :func:`run_robust_prune` the RobustPrune neighbor selection, both
+behind a ``backend=`` seam on ``graphs.engine`` / the insertion
+builders / ``ProximityGraphIndex.build(...)`` /
+``ShardedIndex.build(...)`` with the same auto/explicit fallback
+semantics as search.  :func:`run_commit_wave` goes one step further
+and commits an entire insertion wave — every RobustPrune, backlink,
+and overflow re-prune, with candidate distances computed in-kernel —
+in a single kernel call against a padded adjacency mirror
+(``graphs.engine.CommitMirror``), which removes the per-commit
+dispatch overhead that otherwise dominates a compiled build.
 """
 
 from repro.accel.dispatch import (
@@ -59,11 +74,15 @@ from repro.accel.dispatch import (
     UnsupportedWorkloadError,
     available_backends,
     backend_status,
+    construction_supported,
     get_backend,
     reset,
     resolve_backend,
     run_beam,
+    run_commit_wave,
+    run_construction,
     run_greedy,
+    run_robust_prune,
     warm,
 )
 
@@ -74,10 +93,14 @@ __all__ = [
     "UnsupportedWorkloadError",
     "available_backends",
     "backend_status",
+    "construction_supported",
     "get_backend",
     "reset",
     "resolve_backend",
     "run_beam",
+    "run_commit_wave",
+    "run_construction",
     "run_greedy",
+    "run_robust_prune",
     "warm",
 ]

@@ -34,7 +34,15 @@ from pathlib import Path
 
 import numpy as np
 
-__all__ = ["beam_kernel", "greedy_kernel", "cache_dir", "ensure_compiled"]
+__all__ = [
+    "beam_kernel",
+    "construction_kernel",
+    "greedy_kernel",
+    "robust_prune_kernel",
+    "commit_wave_kernel",
+    "cache_dir",
+    "ensure_compiled",
+]
 
 _CDEF = """
 int64_t repro_beam(
@@ -67,6 +75,37 @@ int64_t repro_greedy(
     int64_t *out_hops, int64_t *out_term,
     int64_t *out_best_p, double *out_best_d,
     int64_t *hops_buf, int64_t hops_cap, double *contrib);
+
+int64_t repro_construction(
+    const int64_t *offsets, const int64_t *targets,
+    int32_t kind, double factor, double power,
+    const double *Q, int64_t qdim,
+    const double *data, int64_t ddim,
+    const uint8_t *codes, int64_t cdim,
+    const double *minv, const double *scale,
+    const double *luts, int64_t msub, int64_t ks,
+    const int64_t *starts, const double *d0, int64_t nq,
+    int64_t beam_width, int64_t expand_per_round,
+    int64_t *out_ids, double *out_dists, int64_t *out_sizes,
+    int32_t *visited, uint8_t *pexp, int64_t *sel_buf, double *contrib);
+
+int64_t repro_robust_prune(
+    const double *points, int64_t ddim,
+    int32_t kind, double factor, int64_t pid,
+    const int64_t *v_in, const double *d_in, int64_t P,
+    double alpha, int64_t max_degree,
+    int64_t *vs, double *ds, uint8_t *alive, double *sq, int64_t *out);
+
+int64_t repro_commit_wave(
+    const double *points, int64_t ddim,
+    int32_t kind, double factor,
+    const int64_t *pids, int64_t w,
+    const int64_t *pool_ids, const double *pool_d, const int64_t *pool_off,
+    int32_t include_own, double alpha, int64_t max_degree,
+    int64_t *adj, int64_t cap, int64_t *deg,
+    int64_t *cand_v, double *cand_d,
+    int64_t *vs, double *ds, uint8_t *alive, double *sq,
+    int64_t *out, int64_t *out2);
 """
 
 _SOURCE = r"""
@@ -466,6 +505,297 @@ int64_t repro_greedy(
     }
     return maxnh;
 }
+
+/* Construction-wave beam location: per-query sequential replica of the
+ * numpy engine's lockstep multi-expansion rounds — selection frozen in
+ * sel_buf before insertions shift slot positions, generation-stamped
+ * visited dedup, bounded sorted insertion into the out_ids/out_dists
+ * pool rows. */
+int64_t repro_construction(
+    const int64_t *offsets, const int64_t *targets,
+    int32_t kind, double factor, double power,
+    const double *Q, int64_t qdim,
+    const double *data, int64_t ddim,
+    const uint8_t *codes, int64_t cdim,
+    const double *minv, const double *scale,
+    const double *luts, int64_t msub, int64_t ks,
+    const int64_t *starts, const double *d0, int64_t nq,
+    int64_t beam_width, int64_t expand_per_round,
+    int64_t *out_ids, double *out_dists, int64_t *out_sizes,
+    int32_t *visited, uint8_t *pexp, int64_t *sel_buf, double *contrib)
+{
+    int64_t ef = beam_width;
+    for (int64_t qi = 0; qi < nq; qi++) {
+        int32_t gen = (int32_t)(qi + 1);
+        int64_t *ids = out_ids + qi * ef;
+        double *dists = out_dists + qi * ef;
+        for (int64_t a = 0; a < ef; a++)
+            pexp[a] = 0;
+        ids[0] = starts[qi];
+        dists[0] = d0[qi];
+        int64_t psize = 1;
+        visited[starts[qi]] = gen;
+        for (;;) {
+            int64_t nsel = 0;
+            for (int64_t slot = 0; slot < psize; slot++) {
+                if (pexp[slot] == 0) {
+                    sel_buf[nsel] = ids[slot];
+                    pexp[slot] = 1;
+                    nsel++;
+                    if (nsel >= expand_per_round)
+                        break;
+                }
+            }
+            if (nsel == 0)
+                break;
+            for (int64_t si = 0; si < nsel; si++) {
+                int64_t u = sel_buf[si];
+                for (int64_t ei = offsets[u]; ei < offsets[u + 1]; ei++) {
+                    int64_t v = targets[ei];
+                    if (visited[v] == gen)
+                        continue;
+                    visited[v] = gen;
+                    double dv = dist_eval(kind, factor, power, Q, qdim, qi,
+                                          data, ddim, codes, cdim, minv, scale,
+                                          luts, msub, ks, contrib, v);
+                    int64_t pos;
+                    if (psize < ef) {
+                        pos = psize;
+                        psize++;
+                    } else if (dv < dists[ef - 1]) {
+                        pos = ef - 1;
+                    } else {
+                        continue;
+                    }
+                    int64_t j = pos;
+                    while (j > 0 && dists[j - 1] > dv) {
+                        dists[j] = dists[j - 1];
+                        ids[j] = ids[j - 1];
+                        pexp[j] = pexp[j - 1];
+                        j--;
+                    }
+                    dists[j] = dv;
+                    ids[j] = v;
+                    pexp[j] = 0;
+                }
+            }
+        }
+        out_sizes[qi] = psize;
+    }
+    return 0;
+}
+
+/* RobustPrune over raw float64 coordinates: (d, v)-ascending sort,
+ * pid drop + first-occurrence dedup, then the greedy alpha scan with
+ * lazily computed kept-to-candidate rows (sequential gram identity
+ * for L2, exact max-abs-diff for Linf).  Shared by the per-call entry
+ * and the wave commit below. */
+static int64_t prune_core(
+    const double *points, int64_t ddim,
+    int32_t kind, double factor, int64_t pid,
+    const int64_t *v_in, const double *d_in, int64_t P,
+    double alpha, int64_t max_degree,
+    int64_t *vs, double *ds, uint8_t *alive, double *sq, int64_t *out)
+{
+    for (int64_t i = 0; i < P; i++) {
+        double d = d_in[i];
+        int64_t v = v_in[i];
+        int64_t j = i;
+        while (j > 0 && (ds[j - 1] > d || (ds[j - 1] == d && vs[j - 1] > v))) {
+            ds[j] = ds[j - 1];
+            vs[j] = vs[j - 1];
+            j--;
+        }
+        ds[j] = d;
+        vs[j] = v;
+    }
+    int64_t k = 0;
+    for (int64_t i = 0; i < P; i++) {
+        int64_t v = vs[i];
+        if (v == pid)
+            continue;
+        int dup = 0;
+        for (int64_t j = 0; j < k; j++) {
+            if (vs[j] == v) {
+                dup = 1;
+                break;
+            }
+        }
+        if (dup)
+            continue;
+        vs[k] = v;
+        ds[k] = ds[i];
+        k++;
+    }
+    if (k == 0)
+        return 0;
+    if (kind == KIND_FLAT_L2) {
+        for (int64_t i = 0; i < k; i++) {
+            double acc = 0.0;
+            const double *x = points + vs[i] * ddim;
+            for (int64_t c = 0; c < ddim; c++)
+                acc += x[c] * x[c];
+            sq[i] = acc;
+        }
+    }
+    for (int64_t i = 0; i < k; i++)
+        alive[i] = 1;
+    int64_t kept = 0;
+    int64_t pos = 0;
+    while (kept < max_degree) {
+        while (pos < k && alive[pos] == 0)
+            pos++;
+        if (pos >= k)
+            break;
+        out[kept] = vs[pos];
+        kept++;
+        if (kept >= max_degree)
+            break;
+        const double *xp = points + vs[pos] * ddim;
+        for (int64_t j = 0; j < k; j++) {
+            if (alive[j] == 0)
+                continue;
+            double d;
+            if (j == pos) {
+                d = 0.0;
+            } else if (kind == KIND_FLAT_L2) {
+                const double *xj = points + vs[j] * ddim;
+                double dot = 0.0;
+                for (int64_t c = 0; c < ddim; c++)
+                    dot += xp[c] * xj[c];
+                double d2 = sq[pos] + sq[j] - 2.0 * dot;
+                if (d2 < 0.0)
+                    d2 = 0.0;
+                d = factor * sqrt(d2);
+            } else {
+                const double *xj = points + vs[j] * ddim;
+                double acc = 0.0;
+                for (int64_t c = 0; c < ddim; c++) {
+                    double t = xp[c] - xj[c];
+                    if (t < 0.0)
+                        t = -t;
+                    if (t > acc)
+                        acc = t;
+                }
+                d = factor * acc;
+            }
+            if (!(alpha * d > ds[j]))
+                alive[j] = 0;
+        }
+        pos++;
+    }
+    return kept;
+}
+
+int64_t repro_robust_prune(
+    const double *points, int64_t ddim,
+    int32_t kind, double factor, int64_t pid,
+    const int64_t *v_in, const double *d_in, int64_t P,
+    double alpha, int64_t max_degree,
+    int64_t *vs, double *ds, uint8_t *alive, double *sq, int64_t *out)
+{
+    return prune_core(points, ddim, kind, factor, pid, v_in, d_in, P,
+                      alpha, max_degree, vs, ds, alive, sq, out);
+}
+
+/* Distance between two stored points — the coordinate metrics'
+ * `distances` rows with sequential float64 accumulation. */
+static double point_dist(
+    const double *points, int64_t ddim, int32_t kind, double factor,
+    int64_t a, int64_t b)
+{
+    const double *xa = points + a * ddim;
+    const double *xb = points + b * ddim;
+    double acc = 0.0;
+    if (kind == KIND_FLAT_L2) {
+        for (int64_t c = 0; c < ddim; c++) {
+            double t = xa[c] - xb[c];
+            acc += t * t;
+        }
+        return factor * sqrt(acc);
+    }
+    for (int64_t c = 0; c < ddim; c++) {
+        double t = xa[c] - xb[c];
+        if (t < 0.0)
+            t = -t;
+        if (t > acc)
+            acc = t;
+    }
+    return factor * acc;
+}
+
+/* Commit a whole construction wave against a padded adjacency: per
+ * member, RobustPrune its pool (plus, with include_own, its current
+ * out-neighbors at in-kernel distances) into row pids[i], then add
+ * backlinks with overflow re-pruning — engine.prune_and_link commit
+ * by commit, in wave order. */
+int64_t repro_commit_wave(
+    const double *points, int64_t ddim,
+    int32_t kind, double factor,
+    const int64_t *pids, int64_t w,
+    const int64_t *pool_ids, const double *pool_d, const int64_t *pool_off,
+    int32_t include_own, double alpha, int64_t max_degree,
+    int64_t *adj, int64_t cap, int64_t *deg,
+    int64_t *cand_v, double *cand_d,
+    int64_t *vs, double *ds, uint8_t *alive, double *sq,
+    int64_t *out, int64_t *out2)
+{
+    for (int64_t i = 0; i < w; i++) {
+        int64_t pid = pids[i];
+        int64_t *row = adj + pid * cap;
+        int64_t P = 0;
+        for (int64_t j = pool_off[i]; j < pool_off[i + 1]; j++) {
+            cand_v[P] = pool_ids[j];
+            cand_d[P] = pool_d[j];
+            P++;
+        }
+        if (include_own) {
+            for (int64_t j = 0; j < deg[pid]; j++) {
+                int64_t v = row[j];
+                cand_v[P] = v;
+                cand_d[P] = point_dist(points, ddim, kind, factor, pid, v);
+                P++;
+            }
+        }
+        int64_t kept = prune_core(points, ddim, kind, factor, pid,
+                                  cand_v, cand_d, P, alpha, max_degree,
+                                  vs, ds, alive, sq, out);
+        for (int64_t j = 0; j < kept; j++)
+            row[j] = out[j];
+        deg[pid] = kept;
+        for (int64_t j = 0; j < kept; j++) {
+            int64_t v = out[j];
+            int64_t *vrow = adj + v * cap;
+            int64_t dv = deg[v];
+            int present = 0;
+            for (int64_t t = 0; t < dv; t++) {
+                if (vrow[t] == pid) {
+                    present = 1;
+                    break;
+                }
+            }
+            if (present)
+                continue;
+            vrow[dv] = pid;
+            deg[v] = dv + 1;
+            if (deg[v] > max_degree) {
+                int64_t P2 = deg[v];
+                for (int64_t t = 0; t < P2; t++) {
+                    cand_v[t] = vrow[t];
+                    cand_d[t] = point_dist(points, ddim, kind, factor,
+                                           v, vrow[t]);
+                }
+                int64_t k2 = prune_core(points, ddim, kind, factor, v,
+                                        cand_v, cand_d, P2, alpha,
+                                        max_degree, vs, ds, alive, sq, out2);
+                for (int64_t t = 0; t < k2; t++)
+                    vrow[t] = out2[t];
+                deg[v] = k2;
+            }
+        }
+    }
+    return 0;
+}
 """
 
 # Strict IEEE: no fused multiply-add contraction, no reassociation.
@@ -617,4 +947,76 @@ def greedy_kernel(
         ffi.cast("int64_t *", hops_buf.ctypes.data),
         int(hops_cap),
         ffi.cast("double *", contrib.ctypes.data),
+    )
+
+
+def construction_kernel(
+    offsets, targets, kind, factor, power, Q, data, codes, minv, scale, luts,
+    starts, d0, beam_width, expand_per_round,
+    out_ids, out_dists, out_sizes, visited, pexp, sel_buf, contrib,
+):
+    """Same signature/semantics as :func:`repro.accel.kernels.construction_kernel`."""
+    lib, ffi = _load()
+    return lib.repro_construction(
+        _i64(ffi, offsets), _i64(ffi, targets),
+        int(kind), float(factor), float(power),
+        _f64(ffi, Q), Q.shape[1] if Q.ndim == 2 else 0,
+        _f64(ffi, data), data.shape[1],
+        _u8(ffi, codes), codes.shape[1],
+        _f64(ffi, minv), _f64(ffi, scale),
+        _f64(ffi, luts), luts.shape[1], luts.shape[2],
+        _i64(ffi, starts), _f64(ffi, d0), starts.shape[0],
+        int(beam_width), int(expand_per_round),
+        ffi.cast("int64_t *", out_ids.ctypes.data),
+        ffi.cast("double *", out_dists.ctypes.data),
+        ffi.cast("int64_t *", out_sizes.ctypes.data),
+        ffi.cast("int32_t *", visited.ctypes.data),
+        ffi.cast("uint8_t *", pexp.ctypes.data),
+        ffi.cast("int64_t *", sel_buf.ctypes.data),
+        ffi.cast("double *", contrib.ctypes.data),
+    )
+
+
+def robust_prune_kernel(
+    points, kind, factor, pid, v_in, d_in, alpha, max_degree,
+    vs, ds, alive, sq, out,
+):
+    """Same signature/semantics as :func:`repro.accel.kernels.robust_prune_kernel`."""
+    lib, ffi = _load()
+    return lib.repro_robust_prune(
+        _f64(ffi, points), points.shape[1],
+        int(kind), float(factor), int(pid),
+        _i64(ffi, v_in), _f64(ffi, d_in), v_in.shape[0],
+        float(alpha), int(max_degree),
+        ffi.cast("int64_t *", vs.ctypes.data),
+        ffi.cast("double *", ds.ctypes.data),
+        ffi.cast("uint8_t *", alive.ctypes.data),
+        ffi.cast("double *", sq.ctypes.data),
+        ffi.cast("int64_t *", out.ctypes.data),
+    )
+
+
+def commit_wave_kernel(
+    points, kind, factor, pids, pool_ids, pool_d, pool_off,
+    include_own, alpha, max_degree, adj, deg,
+    cand_v, cand_d, vs, ds, alive, sq, out, out2,
+):
+    """Same signature/semantics as :func:`repro.accel.kernels.commit_wave_kernel`."""
+    lib, ffi = _load()
+    return lib.repro_commit_wave(
+        _f64(ffi, points), points.shape[1],
+        int(kind), float(factor),
+        _i64(ffi, pids), pids.shape[0],
+        _i64(ffi, pool_ids), _f64(ffi, pool_d), _i64(ffi, pool_off),
+        int(include_own), float(alpha), int(max_degree),
+        ffi.cast("int64_t *", adj.ctypes.data), adj.shape[1],
+        ffi.cast("int64_t *", deg.ctypes.data),
+        ffi.cast("int64_t *", cand_v.ctypes.data),
+        ffi.cast("double *", cand_d.ctypes.data),
+        ffi.cast("int64_t *", vs.ctypes.data),
+        ffi.cast("double *", ds.ctypes.data),
+        ffi.cast("uint8_t *", alive.ctypes.data),
+        ffi.cast("double *", sq.ctypes.data),
+        ffi.cast("int64_t *", out.ctypes.data),
+        ffi.cast("int64_t *", out2.ctypes.data),
     )

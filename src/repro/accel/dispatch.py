@@ -60,6 +60,9 @@ __all__ = [
     "reset",
     "run_beam",
     "run_greedy",
+    "run_construction",
+    "run_robust_prune",
+    "construction_supported",
 ]
 
 
@@ -168,7 +171,8 @@ def warm(backend: str | None = None) -> dict[str, Any]:
     Warming compiles both kernels (numba's lazy JIT fires here, under
     ``cache=True`` so later processes reuse the on-disk cache; the cffi
     backend compiles-or-dlopens its cached shared object) and runs a
-    small beam + greedy workload against the numpy engines, refusing to
+    small beam + greedy + construction + prune workload against the
+    numpy engines, refusing to
     install a backend that does not reproduce them exactly.  The
     elapsed time is recorded as ``compile_seconds`` — the benches report
     it separately so QPS numbers are not polluted by first-call JIT.
@@ -252,15 +256,28 @@ def resolve_backend(requested: str | None) -> str:
 
 
 def _kernel_fns(backend: str):
-    """``(beam_fn, greedy_fn)`` for a backend, loading/compiling it."""
+    """``(beam_fn, greedy_fn, construction_fn, prune_fn, commit_fn)``
+    for a backend, loading/compiling it."""
     if backend in ("numba", "python"):
         # One source: kernels.py self-compiled under numba when
         # importable, interpreted otherwise.
-        return _K.beam_kernel, _K.greedy_kernel
+        return (
+            _K.beam_kernel,
+            _K.greedy_kernel,
+            _K.construction_kernel,
+            _K.robust_prune_kernel,
+            _K.commit_wave_kernel,
+        )
     if backend == "cffi":
         from repro.accel import cbackend
 
-        return cbackend.beam_kernel, cbackend.greedy_kernel
+        return (
+            cbackend.beam_kernel,
+            cbackend.greedy_kernel,
+            cbackend.construction_kernel,
+            cbackend.robust_prune_kernel,
+            cbackend.commit_wave_kernel,
+        )
     raise AccelUnavailableError(_unavailable_message(backend))
 
 
@@ -429,7 +446,7 @@ def run_beam(
 ) -> list[tuple[list[tuple[int, float]], int]]:
     """Whole-batch compiled beam search; output shape and values match
     ``engine.beam_search_batch`` (callers validate arguments first)."""
-    beam_fn, _ = _kernel_fns(backend)
+    beam_fn = _kernel_fns(backend)[0]
     Q = _query_array(queries)
     plan = _plan(dataset, store, Q)
     graph.freeze()
@@ -506,7 +523,7 @@ def run_greedy(
     ``GreedyResult`` objects (full hop paths included)."""
     from repro.graphs.greedy import GreedyResult
 
-    _, greedy_fn = _kernel_fns(backend)
+    greedy_fn = _kernel_fns(backend)[1]
     Q = _query_array(queries)
     plan = _plan(dataset, store, Q)
     graph.freeze()
@@ -579,6 +596,192 @@ def run_greedy(
     return results
 
 
+def run_construction(
+    backend: str,
+    graph: Any,
+    dataset: Any,
+    starts: Any,
+    queries: Any,
+    beam_width: int,
+    expand_per_round: int = 4,
+    store: Any = None,
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Whole-wave compiled construction beam; output shape and values
+    match ``engine.construction_beam_batch`` (callers validate first)."""
+    construction_fn = _kernel_fns(backend)[2]
+    Q = _query_array(queries)
+    plan = _plan(dataset, store, Q)
+    graph.freeze()
+    offsets, targets = graph.csr()
+    offsets = np.ascontiguousarray(offsets, dtype=np.int64)
+    targets = np.ascontiguousarray(targets, dtype=np.int64)
+    w = len(queries)
+    if w == 0:
+        return []
+    starts64 = np.ascontiguousarray(np.asarray(starts), dtype=np.int64)
+    # The numpy path seeds every pool through one segmented() call;
+    # replicate that composition so seed floats are bit-identical.
+    d0 = np.ascontiguousarray(
+        plan.view.segmented(
+            np.arange(w, dtype=np.intp), starts64, np.ones(w, dtype=np.int64)
+        ),
+        dtype=np.float64,
+    )
+    n = graph.n
+    ef = int(beam_width)
+    out_ids = np.full((w, ef), -1, dtype=np.int64)
+    out_dists = np.full((w, ef), np.inf, dtype=np.float64)
+    out_sizes = np.zeros(w, dtype=np.int64)
+    visited = np.zeros(n, dtype=np.int32)
+    pexp = np.zeros(ef, dtype=np.uint8)
+    sel_buf = np.zeros(max(int(expand_per_round), 1), dtype=np.int64)
+    contrib = np.empty(max(plan.msub, 1), dtype=np.float64)
+    construction_fn(
+        offsets, targets, plan.kind, plan.factor, plan.power,
+        plan.Q, plan.data, plan.codes, plan.minv, plan.scale, plan.luts,
+        starts64, d0, ef, int(expand_per_round),
+        out_ids, out_dists, out_sizes, visited, pexp, sel_buf, contrib,
+    )
+    # Re-evaluate every reported pool distance through the numpy view —
+    # segmented() reductions are per-row independent, so these floats
+    # are bit-identical to the engine's round-time evaluations.
+    counts = out_sizes
+    mask = np.arange(ef, dtype=np.int64)[None, :] < counts[:, None]
+    flat = out_ids[mask]
+    exact = np.empty(len(flat), dtype=np.float64)
+    nonzero = counts > 0
+    if flat.size:
+        exact[:] = plan.view.segmented(
+            np.flatnonzero(nonzero), flat, counts[nonzero]
+        )
+    out: list[tuple[np.ndarray, np.ndarray]] = []
+    pos = 0
+    for qi in range(w):
+        c = int(counts[qi])
+        out.append((out_ids[qi, :c], exact[pos : pos + c]))
+        pos += c
+    return out
+
+
+def run_robust_prune(
+    backend: str,
+    dataset: Any,
+    pid: int,
+    v_arr: Any,
+    d_arr: Any,
+    alpha: float,
+    max_degree: int,
+) -> list[int]:
+    """Compiled RobustPrune; output matches ``engine.robust_prune``.
+
+    Always operates on the raw float64 coordinates (the numpy prune
+    uses exact points regardless of the traversal store), so only the
+    dataset's metric and point layout gate kernel support.
+    """
+    prune_fn = _kernel_fns(backend)[3]
+    pts = _coords_f64(dataset.points, "points")
+    kind, factor = _coord_kind(
+        dataset.metric, _K.KIND_FLAT_L2, _K.KIND_FLAT_LINF
+    )
+    v64 = np.ascontiguousarray(np.asarray(v_arr), dtype=np.int64)
+    d64 = np.ascontiguousarray(np.asarray(d_arr), dtype=np.float64)
+    P = len(v64)
+    if P == 0:
+        return []
+    vs = np.empty(P, dtype=np.int64)
+    ds = np.empty(P, dtype=np.float64)
+    alive = np.empty(P, dtype=np.uint8)
+    sq = np.empty(P, dtype=np.float64)
+    out = np.empty(max(int(max_degree), 1), dtype=np.int64)
+    kept = prune_fn(
+        pts, kind, factor, int(pid), v64, d64, float(alpha),
+        int(max_degree), vs, ds, alive, sq, out,
+    )
+    return out[: int(kept)].tolist()
+
+
+def run_commit_wave(
+    backend: str,
+    dataset: Any,
+    adj: Any,
+    pids: Any,
+    pools: Any,
+    alpha: float,
+    max_degree: int,
+    include_own: bool,
+    mirror: Any,
+) -> None:
+    """Commit a whole construction wave in one compiled kernel call.
+
+    ``mirror`` is the caller's :class:`repro.graphs.engine.CommitMirror`
+    — the padded int64 row store the kernel mutates in place of the
+    list-of-lists adjacency.  The workload is validated (and
+    :class:`UnsupportedWorkloadError` raised) *before* the mirror is
+    packed or touched, so a failed dispatch leaves the list adjacency
+    authoritative and the numpy fallback picks up cleanly.  Like the
+    per-call prune, this always operates on the raw float64
+    coordinates; own-edge and backlink candidate distances are computed
+    in-kernel with the same sequential arithmetic stance as the
+    traversal kernels.
+    """
+    commit_fn = _kernel_fns(backend)[4]
+    pts = _coords_f64(dataset.points, "points")
+    kind, factor = _coord_kind(
+        dataset.metric, _K.KIND_FLAT_L2, _K.KIND_FLAT_LINF
+    )
+    if not mirror.active:
+        mirror.pack(adj, max_degree)
+    w = len(pids)
+    lens = np.fromiter((len(p[0]) for p in pools), dtype=np.int64, count=w)
+    pool_off = np.zeros(w + 1, dtype=np.int64)
+    np.cumsum(lens, out=pool_off[1:])
+    total = int(pool_off[-1])
+    pool_ids = np.empty(total, dtype=np.int64)
+    pool_d = np.empty(total, dtype=np.float64)
+    for i, (ids, dists) in enumerate(pools):
+        pool_ids[pool_off[i] : pool_off[i + 1]] = ids
+        pool_d[pool_off[i] : pool_off[i + 1]] = dists
+    pids64 = np.ascontiguousarray(np.asarray(pids), dtype=np.int64)
+    max_p = (int(lens.max()) if w else 0) + mirror.cap
+    md = max(int(max_degree), 1)
+    sc = mirror.scratch
+    if sc.get("max_p", -1) < max_p or sc.get("md", -1) < md:
+        sc["max_p"] = max_p
+        sc["md"] = md
+        sc["cand_v"] = np.empty(max_p, dtype=np.int64)
+        sc["cand_d"] = np.empty(max_p, dtype=np.float64)
+        sc["vs"] = np.empty(max_p, dtype=np.int64)
+        sc["ds"] = np.empty(max_p, dtype=np.float64)
+        sc["alive"] = np.empty(max_p, dtype=np.uint8)
+        sc["sq"] = np.empty(max_p, dtype=np.float64)
+        sc["out"] = np.empty(md, dtype=np.int64)
+        sc["out2"] = np.empty(md, dtype=np.int64)
+    commit_fn(
+        pts, kind, factor, pids64, pool_ids, pool_d, pool_off,
+        1 if include_own else 0, float(alpha), int(max_degree),
+        mirror.arr, mirror.deg,
+        sc["cand_v"], sc["cand_d"], sc["vs"], sc["ds"],
+        sc["alive"], sc["sq"], sc["out"], sc["out2"],
+    )
+
+
+def construction_supported(dataset: Any) -> bool:
+    """Cheap data-free probe: can the construction kernels serve this
+    dataset (flat float64 coordinates under Euclidean/Chebyshev)?
+
+    The sharded parent uses it before shipping a concrete backend name
+    to fresh worker processes (where nothing is warmed, so ``"auto"``
+    would silently mean numpy) — an unsupported workload keeps the
+    auto-path's silent numpy fallback instead of raising in a worker.
+    """
+    try:
+        _coords_f64(dataset.points, "points")
+        _coord_kind(dataset.metric, _K.KIND_FLAT_L2, _K.KIND_FLAT_LINF)
+    except UnsupportedWorkloadError:
+        return False
+    return True
+
+
 # ---------------------------------------------------------------------------
 # warm-time self-check
 
@@ -608,7 +811,35 @@ def _self_check(backend: str) -> None:
     got_beam = run_beam(backend, graph, dataset, starts, Q, beam_width=6, k=4)
     want_greedy = engine.greedy_batch(graph, dataset, starts, Q)
     got_greedy = run_greedy(backend, graph, dataset, starts, Q)
-    if want_beam != got_beam or want_greedy != got_greedy:
+    want_c = engine.construction_beam_batch(graph, dataset, starts, Q, beam_width=6)
+    got_c = run_construction(backend, graph, dataset, starts, Q, beam_width=6)
+    same_c = len(want_c) == len(got_c) and all(
+        np.array_equal(wi, gi) and np.array_equal(wd, gd)
+        for (wi, wd), (gi, gd) in zip(want_c, got_c)
+    )
+    v_arr = np.arange(n, dtype=np.intp)
+    d_arr = dataset.distances_from_index(0, v_arr)
+    want_p = engine.robust_prune(dataset, 0, v_arr, d_arr, 1.2, 6)
+    got_p = run_robust_prune(backend, dataset, 0, v_arr, d_arr, 1.2, 6)
+    # One whole-wave commit against a partially linked adjacency,
+    # kernel vs the pinned per-member prune-and-link loop.
+    adj_want = [sorted(graph.out_neighbors(u).tolist())[:3] for u in range(n)]
+    adj_got = [list(row) for row in adj_want]
+    wave = [int(p) for p in rng.permutation(n)[:mq]]
+    pools_w = engine.construction_beam_batch(
+        graph, dataset, [0] * len(wave), points[wave], beam_width=6
+    )
+    engine.commit_wave_pools(dataset, adj_want, wave, pools_w, 1.2, 4)
+    mirror = engine.CommitMirror()
+    run_commit_wave(backend, dataset, adj_got, wave, pools_w, 1.2, 4, False, mirror)
+    mirror.flush(adj_got)
+    if (
+        want_beam != got_beam
+        or want_greedy != got_greedy
+        or not same_c
+        or want_p != got_p
+        or adj_want != adj_got
+    ):
         raise AccelError(
             f"accel backend {backend!r} failed its warm-time self-check "
             "against the numpy engines; refusing to enable it"

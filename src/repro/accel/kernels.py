@@ -62,6 +62,9 @@ __all__ = [
     "pairwise_sum",
     "beam_kernel",
     "greedy_kernel",
+    "construction_kernel",
+    "robust_prune_kernel",
+    "commit_wave_kernel",
 ]
 
 KIND_FLAT_L2 = 0
@@ -404,6 +407,351 @@ def beam_kernel(
             out_ids[qi, a] = pool_v[a]
             out_dists[qi, a] = pool_d[a]
         out_evals[qi] = evals
+    return 0
+
+
+@_jit
+def construction_kernel(
+    offsets,
+    targets,
+    kind,
+    factor,
+    power,
+    Q,
+    data,
+    codes,
+    minv,
+    scale,
+    luts,
+    starts,
+    d0,
+    beam_width,
+    expand_per_round,
+    out_ids,
+    out_dists,
+    out_sizes,
+    visited,
+    pexp,
+    sel_buf,
+    contrib,
+):
+    """Construction-wave beam location for every query of the batch.
+
+    Mirrors ``engine.construction_beam_batch`` query by query (queries
+    are independent, so the numpy path's lockstep rounds and this
+    sequential sweep reach identical pool states): per round, the first
+    ``expand_per_round`` unexpanded pool slots in ascending-distance
+    order are marked expanded *before* any neighbor is folded in, their
+    CSR neighbor slices are walked in order, each not-yet-visited
+    neighbor is stamped in the generation-stamped ``visited`` array
+    (replicating both the within-round key-sort dedup and the
+    cross-round bitmap), evaluated, and inserted into the
+    ``beam_width``-bounded pool kept sorted ascending by distance with
+    worst-entry eviction — set-equivalent to the engine's
+    argpartition+argsort batch merge for distinct distances (ties are
+    measure-zero and pinned empirically by the 3-seed suites).  A query
+    terminates when no unexpanded valid slot remains, exactly the
+    engine's eligibility test (on a sorted pool ``d <= d[ef-1]`` is
+    trivially true for every valid slot).
+
+    ``out_ids`` / ``out_dists`` double as the pool arrays: on return
+    row ``qi`` holds the final pool ascending by distance and
+    ``out_sizes[qi]`` its valid length.  ``pexp`` is a per-query
+    expansion-flag scratch row; ``sel_buf`` buffers one round's
+    selected node ids (selection is frozen before insertions shift
+    slot positions, matching the engine's round structure).
+    """
+    nq = starts.shape[0]
+    ef = beam_width
+    for qi in range(nq):
+        gen = qi + 1
+        for a in range(ef):
+            pexp[a] = 0
+        out_ids[qi, 0] = starts[qi]
+        out_dists[qi, 0] = d0[qi]
+        psize = 1
+        visited[starts[qi]] = gen
+        while True:
+            nsel = 0
+            for slot in range(psize):
+                if pexp[slot] == 0:
+                    sel_buf[nsel] = out_ids[qi, slot]
+                    pexp[slot] = 1
+                    nsel += 1
+                    if nsel >= expand_per_round:
+                        break
+            if nsel == 0:
+                break
+            for si in range(nsel):
+                u = sel_buf[si]
+                for ei in range(offsets[u], offsets[u + 1]):
+                    v = targets[ei]
+                    if visited[v] == gen:
+                        continue
+                    visited[v] = gen
+                    dv = _dist(
+                        kind, factor, power, Q, qi, data, codes, minv, scale, luts, contrib, v
+                    )
+                    if psize < ef:
+                        pos = psize
+                        psize += 1
+                    elif dv < out_dists[qi, ef - 1]:
+                        pos = ef - 1
+                    else:
+                        continue
+                    j = pos
+                    while j > 0 and out_dists[qi, j - 1] > dv:
+                        out_dists[qi, j] = out_dists[qi, j - 1]
+                        out_ids[qi, j] = out_ids[qi, j - 1]
+                        pexp[j] = pexp[j - 1]
+                        j -= 1
+                    out_dists[qi, j] = dv
+                    out_ids[qi, j] = v
+                    pexp[j] = 0
+        out_sizes[qi] = psize
+    return 0
+
+
+@_jit
+def _point_dist(points, kind, factor, a, b):
+    """Distance between two stored points over raw float64 coordinates.
+
+    Replicates the coordinate metrics' ``distances`` rows (the einsum
+    difference form for L2, exact max-abs-diff for Linf) with a
+    sequential float64 accumulation; the ~1e-15 relative spread the
+    L2 reassociation admits only matters at measure-zero tie scale.
+    """
+    dim = points.shape[1]
+    if kind == KIND_FLAT_L2:
+        acc = 0.0
+        for c in range(dim):
+            t = points[a, c] - points[b, c]
+            acc += t * t
+        return factor * math.sqrt(acc)
+    acc = 0.0
+    for c in range(dim):
+        t = points[a, c] - points[b, c]
+        if t < 0.0:
+            t = -t
+        if t > acc:
+            acc = t
+    return factor * acc
+
+
+@_jit
+def _prune_core(
+    points, kind, factor, pid, v_in, d_in, P, alpha, max_degree,
+    vs, ds, alive, sq, out,
+):
+    """The RobustPrune body shared by the per-call and wave kernels;
+    reads the first ``P`` entries of ``v_in``/``d_in`` and returns the
+    kept count (ids in ``out``)."""
+    # (d, v)-ascending insertion sort into the scratch arrays.
+    for i in range(P):
+        d = d_in[i]
+        v = v_in[i]
+        j = i
+        while j > 0 and (ds[j - 1] > d or (ds[j - 1] == d and vs[j - 1] > v)):
+            ds[j] = ds[j - 1]
+            vs[j] = vs[j - 1]
+            j -= 1
+        ds[j] = d
+        vs[j] = v
+    # Drop pid + first-occurrence-per-id dedup, compacting in place
+    # (in (d, v) order the first occurrence has the smallest distance,
+    # exactly np.unique's return_index under the engine's sort).
+    k = 0
+    for i in range(P):
+        v = vs[i]
+        if v == pid:
+            continue
+        dup = False
+        for j in range(k):
+            if vs[j] == v:
+                dup = True
+                break
+        if dup:
+            continue
+        vs[k] = v
+        ds[k] = ds[i]
+        k += 1
+    if k == 0:
+        return 0
+    dim = points.shape[1]
+    if kind == KIND_FLAT_L2:
+        for i in range(k):
+            acc = 0.0
+            for c in range(dim):
+                t = points[vs[i], c]
+                acc += t * t
+            sq[i] = acc
+    for i in range(k):
+        alive[i] = 1
+    kept = 0
+    pos = 0
+    while kept < max_degree:
+        while pos < k and alive[pos] == 0:
+            pos += 1
+        if pos >= k:
+            break
+        out[kept] = vs[pos]
+        kept += 1
+        if kept >= max_degree:
+            break
+        # Fold the kept point's pairwise row into the alive mask.
+        for j in range(k):
+            if alive[j] == 0:
+                continue
+            if j == pos:
+                d = 0.0
+            elif kind == KIND_FLAT_L2:
+                dot = 0.0
+                for c in range(dim):
+                    dot += points[vs[pos], c] * points[vs[j], c]
+                d2 = sq[pos] + sq[j] - 2.0 * dot
+                if d2 < 0.0:
+                    d2 = 0.0
+                d = factor * math.sqrt(d2)
+            else:
+                acc = 0.0
+                for c in range(dim):
+                    t = points[vs[pos], c] - points[vs[j], c]
+                    if t < 0.0:
+                        t = -t
+                    if t > acc:
+                        acc = t
+                d = factor * acc
+            if not alpha * d > ds[j]:
+                alive[j] = 0
+        pos += 1
+    return kept
+
+
+@_jit
+def robust_prune_kernel(
+    points,
+    kind,
+    factor,
+    pid,
+    v_in,
+    d_in,
+    alpha,
+    max_degree,
+    vs,
+    ds,
+    alive,
+    sq,
+    out,
+):
+    """RobustPrune over raw float64 coordinates, start to finish.
+
+    Mirrors ``engine.robust_prune`` step for step: sort candidates
+    ascending by ``(distance, vertex)`` (``np.lexsort((v, d))``), drop
+    ``pid``, keep the first occurrence per id, then run the greedy
+    alpha scan.  Kept-to-candidate distances replicate the coordinate
+    metrics' ``pairwise`` entry for entry — the Euclidean gram identity
+    ``sqrt(max(sq_i + sq_j - 2*dot_ij, 0))`` with a zero diagonal, the
+    Chebyshev max-of-absolute-differences exactly — with sequential
+    float64 dots where numpy calls BLAS; the ~1e-15 relative spread
+    this admits flips an ``alpha * D > d`` comparison only at
+    measure-zero tie scale, pinned empirically by the 3-seed suites.
+
+    ``vs``/``ds``/``alive``/``sq`` are length-``len(v_in)`` scratch;
+    ``out`` receives the kept ids and the return value is their count.
+    """
+    return _prune_core(
+        points, kind, factor, pid, v_in, d_in, v_in.shape[0],
+        alpha, max_degree, vs, ds, alive, sq, out,
+    )
+
+
+@_jit
+def commit_wave_kernel(
+    points,
+    kind,
+    factor,
+    pids,
+    pool_ids,
+    pool_d,
+    pool_off,
+    include_own,
+    alpha,
+    max_degree,
+    adj,
+    deg,
+    cand_v,
+    cand_d,
+    vs,
+    ds,
+    alive,
+    sq,
+    out,
+    out2,
+):
+    """Commit a whole construction wave against a padded adjacency.
+
+    Mirrors ``engine.prune_and_link`` commit by commit, in wave order:
+    each member's candidate pool (its slice of ``pool_ids``/``pool_d``,
+    plus — when ``include_own`` is nonzero — its current out-neighbors
+    with distances computed by :func:`_point_dist`, exactly Vamana's
+    own-edge concatenation) is RobustPruned into its adjacency row,
+    then backlinks are added to every kept neighbor with overflow
+    re-pruning, whose candidate distances are likewise computed
+    in-kernel.  ``adj`` is the ``(n, cap)`` padded row store with
+    ``deg`` holding row lengths; rows never exceed ``max_degree``
+    after a commit, and ``cap >= max_degree + 1`` absorbs the
+    transient pre-prune append.
+
+    ``cand_v``/``cand_d`` assemble one candidate list at a time and
+    ``vs``/``ds``/``alive``/``sq`` are the prune scratch (all sized to
+    the longest possible candidate list); ``out`` holds the committed
+    member's kept row while ``out2`` serves the backlink re-prunes.
+    """
+    w = pids.shape[0]
+    for i in range(w):
+        pid = pids[i]
+        P = 0
+        for j in range(pool_off[i], pool_off[i + 1]):
+            cand_v[P] = pool_ids[j]
+            cand_d[P] = pool_d[j]
+            P += 1
+        if include_own != 0:
+            for j in range(deg[pid]):
+                v = adj[pid, j]
+                cand_v[P] = v
+                cand_d[P] = _point_dist(points, kind, factor, pid, v)
+                P += 1
+        kept = _prune_core(
+            points, kind, factor, pid, cand_v, cand_d, P,
+            alpha, max_degree, vs, ds, alive, sq, out,
+        )
+        for j in range(kept):
+            adj[pid, j] = out[j]
+        deg[pid] = kept
+        for j in range(kept):
+            v = out[j]
+            dv = deg[v]
+            present = False
+            for t in range(dv):
+                if adj[v, t] == pid:
+                    present = True
+                    break
+            if present:
+                continue
+            adj[v, dv] = pid
+            deg[v] = dv + 1
+            if deg[v] > max_degree:
+                P2 = deg[v]
+                for t in range(P2):
+                    cand_v[t] = adj[v, t]
+                    cand_d[t] = _point_dist(points, kind, factor, v, adj[v, t])
+                k2 = _prune_core(
+                    points, kind, factor, v, cand_v, cand_d, P2,
+                    alpha, max_degree, vs, ds, alive, sq, out2,
+                )
+                for t in range(k2):
+                    adj[v, t] = out2[t]
+                deg[v] = k2
     return 0
 
 

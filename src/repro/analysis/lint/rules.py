@@ -732,6 +732,17 @@ class MmapHygieneRule(Rule):
 _REQUIRED_METRICS = ("EuclideanMetric", "ChebyshevMetric")
 _REQUIRED_CFLAG = "-ffp-contract=off"
 
+# The compiled construction path: wave location classifies its workload
+# through ``_plan`` (inheriting the full store-kind x metric table);
+# the prune/commit kernels run over raw float64 coordinates and must
+# route metrics through ``_coord_kind`` (both coordinate metrics plus
+# the explicit unsupported-metric error).
+_CONSTRUCTION_ENTRY_POINTS = (
+    ("run_construction", "_plan"),
+    ("run_robust_prune", "_coord_kind"),
+    ("run_commit_wave", "_coord_kind"),
+)
+
 
 def _expected_store_kinds() -> tuple[str, ...]:
     try:
@@ -748,9 +759,12 @@ class KernelParityRule(Rule):
     ``accel/dispatch.py`` routes (store kind × metric) workloads to
     compiled kernels; a kind the engines accept but ``_plan`` does not
     handle silently falls back (or worse, raises) the day someone adds
-    a store.  And the cffi build must keep ``-ffp-contract=off`` —
-    fused multiply-adds change float results and break the backend
-    bit-identity gate.
+    a store.  The *construction* entry points must stay on the same
+    table: wave location through ``_plan`` (every store kind × both
+    coordinate metrics), prune/commit through ``_coord_kind`` (both
+    coordinate metrics over the raw float64 points).  And the cffi
+    build must keep ``-ffp-contract=off`` — fused multiply-adds change
+    float results and break the backend bit-identity gate.
     """
 
     id = "kernel-parity"
@@ -811,6 +825,7 @@ class KernelParityRule(Rule):
                         "coordinate metric the engines accept needs a "
                         "kernel route (or an explicit unsupported branch)",
                     )
+            yield from self._check_construction(ctx, plan_fn)
 
         if cflags_node is not None:
             flags = {
@@ -824,6 +839,49 @@ class KernelParityRule(Rule):
                     f"_CFLAGS is missing {_REQUIRED_CFLAG!r}; without it "
                     "the C backend fuses multiply-adds and loses bit-"
                     "identity with the numpy engines",
+                )
+
+    @staticmethod
+    def _check_construction(
+        ctx: FileContext, plan_fn: ast.FunctionDef
+    ) -> Iterator[tuple[ast.AST | int, str]]:
+        """The construction workloads ride the same dispatch table.
+
+        A dispatch module (identified by its ``_plan``) must define all
+        three construction entry points, and each must route through
+        its workload classifier — otherwise a store kind or metric the
+        search path covers silently loses its compiled build path.
+        """
+        fns = {
+            node.name: node
+            for node in ast.walk(ctx.tree)
+            if isinstance(node, ast.FunctionDef)
+        }
+        for name, router in _CONSTRUCTION_ENTRY_POINTS:
+            fn = fns.get(name)
+            if fn is None:
+                yield (
+                    plan_fn,
+                    f"the dispatch module defines no {name}(); the "
+                    "construction path must cover the same store kinds "
+                    "and coordinate metrics as search — add the entry "
+                    f"point and classify its workload via {router}()",
+                )
+                continue
+            called = {
+                _last_component(_dotted(sub.func))
+                for sub in ast.walk(fn)
+                if isinstance(sub, ast.Call)
+            }
+            if router not in called:
+                yield (
+                    fn,
+                    f"{name}() never classifies its workload through "
+                    f"{router}(); construction coverage of every store "
+                    "kind (repro.storage.STORAGE_KINDS) and both "
+                    "coordinate metrics rides that table — route "
+                    "through it (or raise UnsupportedWorkloadError "
+                    "there)",
                 )
 
 

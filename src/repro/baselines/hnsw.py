@@ -63,6 +63,11 @@ class HNSWIndex:
     batch_size:
         ``None`` for the sequential reference build; an integer ``k``
         for the wave schedule (``k=1`` is edge-identical to sequential).
+    backend:
+        Accel backend for the wave schedule's per-layer candidate
+        location (``None``/``"numpy"`` = the pinned engines, ``"auto"``
+        = best warmed compiled backend, or an explicit backend name).
+        The sequential schedule ignores it.
     """
 
     def __init__(
@@ -73,6 +78,7 @@ class HNSWIndex:
         ef_construction: int = 64,
         use_heuristic: bool = True,
         batch_size: int | None = None,
+        backend: str | None = None,
     ):
         if m < 2:
             raise ValueError("M must be at least 2")
@@ -84,6 +90,7 @@ class HNSWIndex:
         self.ef_construction = int(ef_construction)
         self.use_heuristic = bool(use_heuristic)
         self.batch_size = batch_size
+        self.backend = backend
         self._ml = 1.0 / math.log(self.m)
         # adjacency[level][node] -> list of neighbor ids
         self._adj: list[dict[int, list[int]]] = []
@@ -268,7 +275,7 @@ class HNSWIndex:
                 idx = np.asarray(desc, dtype=np.intp)
                 found = construction_beam_batch(
                     layers[lvl], self.dataset, entry[idx], q_arr[idx],
-                    beam_width=1,
+                    beam_width=1, backend=self.backend,
                 )
                 for i, (ids, _d) in zip(desc, found):
                     entry[i] = ids[0]
@@ -276,7 +283,7 @@ class HNSWIndex:
                 idx = np.asarray(ins, dtype=np.intp)
                 found = construction_beam_batch(
                     layers[lvl], self.dataset, entry[idx], q_arr[idx],
-                    beam_width=self.ef_construction,
+                    beam_width=self.ef_construction, backend=self.backend,
                 )
                 for i, (ids, d) in zip(ins, found):
                     by_level[i][lvl] = list(zip(d.tolist(), ids.tolist()))

@@ -36,6 +36,7 @@ class NSWIndex:
         m: int = 8,
         ef_construction: int = 32,
         batch_size: int | None = None,
+        backend: str | None = None,
     ):
         if m < 1:
             raise ValueError("m must be at least 1")
@@ -45,6 +46,7 @@ class NSWIndex:
         self.m = int(m)
         self.ef_construction = int(ef_construction)
         self.batch_size = batch_size
+        self.backend = backend
         self._adj: list[set[int]] = [set() for _ in range(dataset.n)]
         self._members: list[int] = []
         order = rng.permutation(dataset.n)
@@ -120,6 +122,7 @@ class NSWIndex:
                 [self._members[0]] * len(idx),
                 self.dataset.points[idx],
                 beam_width=ef,
+                backend=self.backend,
             )
             pools += [list(zip(d.tolist(), v.tolist())) for v, d in found]
         return pools

@@ -38,7 +38,9 @@ import warnings
 
 from repro.graphs.base import ProximityGraph
 from repro.graphs.engine import (
+    CommitMirror,
     bulk_insert,
+    commit_wave_pools,
     locate_wave_pools,
     prune_and_link,
 )
@@ -85,6 +87,11 @@ class VamanaIndex:
     batch_size:
         ``None`` for the sequential reference build; an integer ``k``
         for the wave schedule (``k=1`` is edge-identical to sequential).
+    backend:
+        Accel backend for the batched waves' candidate location and
+        RobustPrune (``None``/``"numpy"`` = the pinned engines,
+        ``"auto"`` = best warmed compiled backend, or an explicit
+        backend name).  The sequential schedule ignores it.
     """
 
     def __init__(
@@ -95,6 +102,7 @@ class VamanaIndex:
         beam_width: int = 48,
         alpha: float = 1.2,
         batch_size: int | None = None,
+        backend: str | None = None,
     ):
         if max_degree < 2:
             raise ValueError("max_degree must be at least 2")
@@ -107,8 +115,10 @@ class VamanaIndex:
         self.beam_width = int(beam_width)
         self.alpha = float(alpha)
         self.batch_size = batch_size
+        self.backend = backend
         n = dataset.n
         self._adj: list[list[int]] = [[] for _ in range(n)]
+        self._mirror = CommitMirror()
         # Medoid approximation: the point closest to the centroid of a
         # sample — the canonical Vamana entry point.
         sample = rng.choice(n, size=min(n, 256), replace=False)
@@ -175,20 +185,25 @@ class VamanaIndex:
         self, pid: int, v_arr: np.ndarray, d_arr: np.ndarray, alpha: float
     ) -> list[int]:
         return _engine_robust_prune(
-            self.dataset, pid, v_arr, d_arr, alpha, self.max_degree
+            self.dataset, pid, v_arr, d_arr, alpha, self.max_degree,
+            backend=self.backend,
         )
 
     def _commit_arrays(
         self, pid: int, v_arr: np.ndarray, d_arr: np.ndarray, alpha: float
     ) -> None:
         """Neighbor selection + bidirectional linking for one insertion."""
+        # Direct list mutation — write back the padded mirror first if a
+        # compiled wave commit left it authoritative.
+        self._mirror.flush(self._adj)
         if self._adj[pid]:
             own = np.asarray(self._adj[pid], dtype=np.intp)
             own_d = self.dataset.distances_from_index(pid, own)
             v_arr = np.concatenate([v_arr, own])
             d_arr = np.concatenate([d_arr, own_d])
         prune_and_link(
-            self.dataset, self._adj, pid, v_arr, d_arr, alpha, self.max_degree
+            self.dataset, self._adj, pid, v_arr, d_arr, alpha, self.max_degree,
+            backend=self.backend,
         )
 
     def _insert(self, pid: int, alpha: float) -> None:
@@ -215,7 +230,8 @@ class VamanaIndex:
         frozen prefix adjacency; returns ``(ids, distances)`` pools,
         ascending by distance."""
         return locate_wave_pools(
-            self.dataset, self._adj, self.entry_point, pids, self.beam_width
+            self.dataset, self._adj, self.entry_point, pids, self.beam_width,
+            backend=self.backend, mirror=self._mirror,
         )
 
     def commit(self, pid: int, pool: tuple[np.ndarray, np.ndarray]) -> None:
@@ -223,6 +239,23 @@ class VamanaIndex:
         self._commit_arrays(
             int(pid), np.asarray(v_arr, dtype=np.intp), d_arr, self._pass_alpha
         )
+
+    def commit_wave(
+        self,
+        pids: Sequence[int],
+        pools: Sequence[tuple[np.ndarray, np.ndarray]],
+    ) -> None:
+        """Whole-wave commit: Vamana concatenates each member's current
+        out-edges into its candidate pool (``include_own``), then runs
+        the shared prune-and-link wave body."""
+        commit_wave_pools(
+            self.dataset, self._adj, pids, pools, self._pass_alpha,
+            self.max_degree, backend=self.backend, mirror=self._mirror,
+            include_own=True,
+        )
+
+    def finish_waves(self) -> None:
+        self._mirror.flush(self._adj)
 
     # ------------------------------------------------------------------
 

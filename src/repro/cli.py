@@ -675,6 +675,34 @@ def _cmd_bench_build(args: argparse.Namespace) -> int:
         f"sequential_recall_at_{args.k}": round(recall(seq.graph), 4),
         f"batched_recall_at_{args.k}": round(recall(bat.graph), 4),
     }
+    if args.backend is not None and args.backend != "numpy":
+        # Warm (compile + self-check) BEFORE the clock so the timing
+        # below measures steady-state throughput, not JIT latency...
+        compile_seconds = accel.warm(args.backend)["compile_seconds"]
+        resolved = accel.resolve_backend(args.backend)
+        # ...and run one small untimed warm-up build so any remaining
+        # lazy state (kernel caches, scratch buffers) is paid here.
+        warm_n = min(dataset.n, 2000)
+        build(
+            args.method,
+            Dataset(dataset.metric, np.asarray(dataset.points)[:warm_n]),
+            args.epsilon, np.random.default_rng(args.seed),
+            batch_size=args.batch_size, backend=resolved,
+        )
+        acc, acc_seconds = timed(
+            lambda: build(
+                args.method, dataset, args.epsilon,
+                np.random.default_rng(args.seed),
+                batch_size=args.batch_size, backend=resolved,
+            )
+        )
+        out.update({
+            "backend": resolved,
+            "jit_compile_seconds": round(compile_seconds, 3),
+            "compiled_seconds": round(acc_seconds, 3),
+            "compiled_speedup": round(bat_seconds / acc_seconds, 2),
+            f"compiled_recall_at_{args.k}": round(recall(acc.graph), 4),
+        })
     print(json.dumps(out, indent=2))
     return 0
 
@@ -935,6 +963,11 @@ def _parser() -> argparse.ArgumentParser:
                    "the flat default build instead")
     p.add_argument("--workers", type=int, default=1,
                    help="process-pool size for the sharded side")
+    p.add_argument("--backend", default=None,
+                   help="accel backend for a third, compiled-build leg "
+                   "(numba/cffi/python/auto); warmed before the clock — "
+                   "JIT/C compile time reports as jit_compile_seconds and "
+                   "one untimed warm-up build runs first")
     p.set_defaults(fn=_cmd_bench_build)
 
     p = sub.add_parser(

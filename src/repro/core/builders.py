@@ -141,6 +141,11 @@ def validate_builder_options(name: str, options: dict[str, Any]) -> None:
             f"builder {name!r} does not support batched construction; "
             f"batch_size applies to {sorted(BATCHED_BUILDERS)}"
         )
+    if "backend" in options and name not in BATCHED_BUILDERS:
+        raise ValueError(
+            f"builder {name!r} has no accelerated construction path; "
+            f"backend applies to {sorted(BATCHED_BUILDERS)}"
+        )
     allowed = BUILDER_OPTIONS.get(name)
     if allowed is None:
         return
@@ -169,6 +174,7 @@ def build(
     epsilon: float,
     rng: np.random.Generator | None = None,
     batch_size: int | None = None,
+    backend: str | None = None,
     **options: Any,
 ) -> BuiltGraph:
     """Build graph ``name`` over ``dataset``; returns it with provenance.
@@ -186,6 +192,14 @@ def build(
     regression suite).  Passing ``batch_size`` to any other builder
     raises ``ValueError``: the paper's constructions (gnet/theta/merged)
     are not insertion-ordered, so the knob has no meaning there.
+
+    ``backend`` selects the accel backend for the batched builders'
+    construction inner loops (candidate location + RobustPrune):
+    ``None``/``"numpy"`` run the pinned numpy engines, ``"auto"`` the
+    best warmed compiled backend (falling back silently), and an
+    explicit name (``"numba"``/``"cffi"``/``"python"``) that backend,
+    warmed on demand, raising when unavailable.  Like ``batch_size``
+    it is rejected for builders without an insertion loop.
     """
     if name not in BUILDERS:
         raise ValueError(f"unknown builder {name!r}; have {available_builders()}")
@@ -196,6 +210,13 @@ def build(
                 f"batch_size applies to {sorted(BATCHED_BUILDERS)}"
             )
         options["batch_size"] = batch_size
+    if backend is not None:
+        if name not in BATCHED_BUILDERS:
+            raise ValueError(
+                f"builder {name!r} has no accelerated construction path; "
+                f"backend applies to {sorted(BATCHED_BUILDERS)}"
+            )
+        options["backend"] = backend
     validate_builder_options(name, options)
     built = BUILDERS[name](
         dataset=dataset,

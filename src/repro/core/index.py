@@ -468,6 +468,7 @@ class ProximityGraphIndex:
         ids: Sequence[int] | None = None,
         mode: str = "auto",
         batch_size: int = 64,
+        backend: str | None = None,
     ) -> np.ndarray:
         """Insert new points; returns their external ids.
 
@@ -497,6 +498,11 @@ class ProximityGraphIndex:
 
         New points are given in original units, like :meth:`build`.
         ``ids`` assigns their external ids (fresh ones by default).
+        ``backend`` selects the accel backend for the repair path's
+        wave location and RobustPrune (the engine-wide seam:
+        ``None``/``"numpy"`` = pinned engines, ``"auto"`` = best warmed
+        compiled backend, explicit names warm on demand); the dynamic
+        path maintains net invariants in numpy regardless.
         """
         if mode not in ("auto", "repair", "dynamic"):
             raise ValueError(f"unknown add mode {mode!r}")
@@ -511,7 +517,7 @@ class ProximityGraphIndex:
         if mode == "dynamic":
             self._add_dynamic(new_pts)
         elif mode == "repair" or not self._dynamic_feasible():
-            self._add_repair(new_pts, batch_size=batch_size)
+            self._add_repair(new_pts, batch_size=batch_size, backend=backend)
         else:
             try:
                 self._add_dynamic(new_pts)
@@ -519,7 +525,7 @@ class ProximityGraphIndex:
                 # Batch (or upgrade) rejected by the net's preconditions;
                 # pre-validation left everything untouched, so the
                 # generic path can absorb the points instead.
-                self._add_repair(new_pts, batch_size=batch_size)
+                self._add_repair(new_pts, batch_size=batch_size, backend=backend)
         self._tombstones = np.concatenate(
             [self._tombstones, np.zeros(count, dtype=bool)]
         )
@@ -606,7 +612,9 @@ class ProximityGraphIndex:
         # an earlier repair add had lapsed it.
         self.built.guaranteed = True
 
-    def _add_repair(self, new_pts: np.ndarray, batch_size: int) -> None:
+    def _add_repair(
+        self, new_pts: np.ndarray, batch_size: int, backend: str | None = None
+    ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be at least 1")
         n_old, count = self.dataset.n, len(new_pts)
@@ -627,6 +635,7 @@ class ProximityGraphIndex:
         inserter = RepairInserter(
             dataset, adj, entry,
             max_degree=degree_cap, beam_width=max(32, 2 * degree_cap),
+            backend=backend,
         )
         bulk_insert(inserter, range(n_old, n_old + count), batch_size, ramp=False)
         self.dataset = dataset

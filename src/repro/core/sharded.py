@@ -289,8 +289,10 @@ def shard_payload(
                 raise ValueError("an arena-backed code payload needs its span")
             entry["codes_arena"] = code_arena_spec
             entry["codes_span"] = (int(code_span[0]), int(code_span[1]))
-        else:
+        elif store.codes is not None:
             entry["codes"] = np.asarray(store.codes)
+        # A code-free traversal store (flat dtype="float32") ships by
+        # spec alone — the worker re-derives its traversal copy.
         payload["storage"] = entry
     return payload
 
@@ -332,17 +334,16 @@ def rehydrate_shard(
     store = None
     storage = payload.get("storage")
     if storage is not None:
+        arrays = dict(storage["aux"])
         if "codes_arena" in storage:
             # Same ownership transfer as point_att above: released by
             # the caller through the returned _AttachmentSet.
             code_att = attach(storage["codes_arena"])  # repro: ignore[arena-hygiene]
             lo, hi = storage["codes_span"]
-            codes = code_att.view(lo, hi)
-        else:
-            codes = storage["codes"]
-        store = store_from_arrays(
-            storage["spec"], {**storage["aux"], "codes": codes}, metric, points
-        )
+            arrays["codes"] = code_att.view(lo, hi)
+        elif "codes" in storage:
+            arrays["codes"] = storage["codes"]
+        store = store_from_arrays(storage["spec"], arrays, metric, points)
     index = ProximityGraphIndex(
         dataset=Dataset(metric, points),
         built=built,
@@ -480,6 +481,7 @@ class ShardedIndex:
         seed: int = 0,
         ids: Sequence[int] | None = None,
         batch_size: Any = "auto",
+        backend: str | None = None,
         search_chunk: int = DEFAULT_SEARCH_CHUNK,
         storage: str = "flat",
         storage_options: dict[str, Any] | None = None,
@@ -506,6 +508,13 @@ class ShardedIndex:
         and with a pooled build the per-shard code matrices live in a
         second :class:`~repro.metrics.arena.SharedArena`, so fan-out
         search workers attach to the compressed shards zero-copy.
+
+        ``backend`` selects the accel backend for the insertion
+        builders' construction inner loops.  With a pooled build the
+        parent resolves ``"auto"`` to its concrete warmed backend
+        before shipping tasks — pool workers are fresh processes where
+        nothing is ever warmed, so ``"auto"`` there would silently mean
+        numpy — and each worker warms that backend once on demand.
         """
         # Fail fast on an unknown builder or misspelled build option —
         # BEFORE partitioning and the (potentially multi-process,
@@ -540,14 +549,34 @@ class ShardedIndex:
                 batch_size = max(32, min(1024, per_shard // 8))
         if batch_size is not None:
             options["batch_size"] = int(batch_size)
+        if backend is not None:
+            if method not in BATCHED_BUILDERS:
+                raise ValueError(
+                    f"builder {method!r} has no accelerated construction path; "
+                    f"backend applies to {sorted(BATCHED_BUILDERS)}"
+                )
+            options["backend"] = backend
 
         if workers > 1:
             metric_to_spec(metric)  # fail fast: workers need a spec form
+            if options.get("backend") == "auto":
+                # Resolve "auto" here, in the parent: a concrete name is
+                # shipped only when the workload has a compiled
+                # construction path (an explicit backend raises where
+                # "auto" falls back, so unsupported workloads keep
+                # "auto" and its silent numpy fallback in the workers).
+                from repro import accel
+
+                concrete = accel.get_backend()
+                if concrete != "numpy" and accel.construction_supported(
+                    Dataset(metric, arr)
+                ):
+                    options["backend"] = concrete
             index = cls._build_pooled(
                 points, epsilon, method, metric, normalize, members,
                 global_ids, workers, assignment, seed, options, search_chunk,
             )
-            if storage != "flat":
+            if storage != "flat" or storage_options:
                 index.set_storage(storage, seed=seed, **(storage_options or {}))
             return index
 
@@ -568,7 +597,7 @@ class ShardedIndex:
             shard_indexes, seed=seed, workers=workers, assignment=assignment,
             search_chunk=search_chunk,
         )
-        if storage != "flat":
+        if storage != "flat" or storage_options:
             index.set_storage(storage, seed=seed, **(storage_options or {}))
         return index
 
@@ -763,7 +792,9 @@ class ShardedIndex:
         self._close_code_arena()
         if kind == "flat":
             for shard in self.shards:
-                shard.store = FlatStore(shard.dataset.metric, shard.dataset.points)
+                shard.store = FlatStore(
+                    shard.dataset.metric, shard.dataset.points, **options
+                )
             self._bump_generation()
             return self
         arena_ok = all(self._shard_arena_backed(j) for j in range(self.n_shards))
@@ -1110,8 +1141,11 @@ class ShardedIndex:
             if self._shard_arena_backed(j):
                 pts = np.array(np.asarray(snap.dataset.points), copy=True)
                 snap.dataset = Dataset(snap.dataset.metric, pts)
-                if not snap.store.is_quantized:
-                    snap.store = FlatStore(snap.dataset.metric, pts)
+                if snap.store.kind == "flat":
+                    # Rebind onto the private copy (refresh preserves a
+                    # float32 store's dtype); quantized stores keep
+                    # their codes and never touch the arena points.
+                    snap.store = snap.store.refresh(snap.dataset, 0)
             snap.store.detach()
             shards.append(snap)
         return ShardedIndex(

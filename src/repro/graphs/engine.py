@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import dataclasses
 import heapq
+from itertools import chain
 from typing import Any, Iterable, Protocol, Sequence, runtime_checkable
 
 import numpy as np
@@ -438,6 +439,7 @@ def construction_beam_batch(
     beam_width: int,
     expand_per_round: int = 4,
     store: Any = None,
+    backend: str | None = None,
 ) -> list[tuple[np.ndarray, np.ndarray]]:
     """Fully vectorized lockstep beam search for *construction* waves.
 
@@ -467,6 +469,12 @@ def construction_beam_batch(
     construction waves (``w = batch_size``), not for unbounded query
     batches.  Returns one ``(ids, distances)`` array pair per query,
     ascending by distance.
+
+    ``backend=None`` / ``"numpy"`` always run this pinned lockstep
+    code; ``"auto"`` and explicit accel backend names dispatch the
+    whole wave to the compiled construction kernel (``"auto"``
+    silently stays here when no backend is warmed or the workload has
+    no compiled kernel).
     """
     if beam_width < 1:
         raise ValueError("beam width must be at least 1")
@@ -478,6 +486,20 @@ def construction_beam_batch(
         raise ValueError("need exactly one start vertex per query")
     if w == 0:
         return []
+    if backend is not None and backend != "numpy":
+        from repro import accel
+
+        resolved = accel.resolve_backend(backend)
+        if resolved != "numpy":
+            try:
+                return accel.run_construction(
+                    resolved, graph, dataset, starts, queries,
+                    beam_width=beam_width, expand_per_round=expand_per_round,
+                    store=store,
+                )
+            except accel.UnsupportedWorkloadError:
+                if backend != "auto":
+                    raise
     offsets, targets = graph.csr()
     n = graph.n
     ef = int(beam_width)
@@ -632,6 +654,7 @@ def bulk_insert(
     order: Iterable[int],
     batch_size: int,
     ramp: bool = True,
+    backend: str | None = None,
 ) -> int:
     """Insert ``order`` into ``inserter`` in waves of up to ``batch_size``.
 
@@ -653,9 +676,26 @@ def bulk_insert(
     builders inserting into an already-complete graph (e.g. Vamana's
     second pass) can pass ``ramp=False`` to run full-width immediately.
     Returns the number of waves executed.
+
+    ``backend`` (when not ``None``) is pinned onto the inserter as its
+    ``backend`` attribute before any wave runs, so builders that thread
+    ``self.backend`` through their ``locate_wave`` / ``commit`` bodies
+    pick up the accel seam without a protocol change.
+
+    Two optional hooks extend the protocol for the compiled commit
+    path: an inserter exposing ``commit_wave(pids, pools)`` receives
+    each multi-member wave whole (instead of per-member ``commit``
+    calls) so it can commit the wave in one kernel dispatch, and one
+    exposing ``finish_waves()`` is called once after the last wave to
+    flush any mirrored adjacency state.  Singleton waves still go
+    through ``insert_one``, which keeps ``batch_size=1`` bit-identical
+    to the sequential build by construction.
     """
     if batch_size < 1:
         raise ValueError("batch_size must be at least 1")
+    if backend is not None:
+        inserter.backend = backend  # type: ignore[attr-defined]
+    commit_wave = getattr(inserter, "commit_wave", None)
     order = [int(p) for p in order]
     waves = 0
     pos = 0
@@ -672,8 +712,14 @@ def bulk_insert(
             raise ValueError(
                 f"locate_wave returned {len(pools)} pools for a wave of {len(wave)}"
             )
-        for pid, pool in zip(wave, pools):
-            inserter.commit(pid, pool)
+        if commit_wave is not None:
+            commit_wave(wave, pools)
+        else:
+            for pid, pool in zip(wave, pools):
+                inserter.commit(pid, pool)
+    finish = getattr(inserter, "finish_waves", None)
+    if finish is not None:
+        finish()
     return waves
 
 
@@ -696,6 +742,7 @@ def robust_prune(
     d_arr: np.ndarray,
     alpha: float,
     max_degree: int,
+    backend: str | None = None,
 ) -> list[int]:
     """The RobustPrune of DiskANN [19], array-native and builder-agnostic.
 
@@ -705,8 +752,23 @@ def robust_prune(
     duplicates keep their smallest distance.  All kept-to-candidate
     distances come from one cross-distance matrix (a single BLAS call
     for coordinate metrics), so the greedy scan below only does cheap
-    row masking.
+    row masking.  ``backend`` follows the engine-wide seam: ``None`` /
+    ``"numpy"`` run this pinned code, ``"auto"`` / explicit names
+    dispatch to the compiled prune kernel when the workload (raw
+    float64 coordinates under a coordinate metric) supports it.
     """
+    if backend is not None and backend != "numpy":
+        from repro import accel
+
+        resolved = accel.resolve_backend(backend)
+        if resolved != "numpy":
+            try:
+                return accel.run_robust_prune(
+                    resolved, dataset, pid, v_arr, d_arr, alpha, max_degree
+                )
+            except accel.UnsupportedWorkloadError:
+                if backend != "auto":
+                    raise
     order = np.lexsort((v_arr, d_arr))
     v_s, d_s = v_arr[order], d_arr[order]
     mask = v_s != pid
@@ -741,21 +803,30 @@ def locate_wave_pools(
     entry: int,
     pids: Sequence[int],
     beam_width: int,
+    backend: str | None = None,
+    mirror: "CommitMirror | None" = None,
 ) -> list[tuple[np.ndarray, np.ndarray]]:
     """Locate one candidate pool per wave member against the frozen
     prefix: snapshot the mutable adjacency once, then run one lockstep
     :func:`construction_beam_batch` from ``entry`` for the whole wave.
     This is the ``locate_wave`` body every RobustPrune-style inserter
     shares.  Returns ``(ids, distances)`` pools ascending by distance.
+    When an **active** ``mirror`` holds the adjacency (compiled commit
+    path), the CSR prefix is frozen straight off its padded rows —
+    row-for-row the same graph the list snapshot would give.
     """
     idx = np.asarray(pids, dtype=np.intp)
-    prefix = snapshot_graph(len(adj), adj, sort=False)
+    if mirror is not None and mirror.active:
+        prefix = mirror.snapshot()
+    else:
+        prefix = snapshot_graph(len(adj), adj, sort=False)
     return construction_beam_batch(
         prefix,
         dataset,
         [int(entry)] * len(idx),
         dataset.points[idx],
         beam_width=beam_width,
+        backend=backend,
     )
 
 
@@ -767,12 +838,13 @@ def prune_and_link(
     d_arr: np.ndarray,
     alpha: float,
     max_degree: int,
+    backend: str | None = None,
 ) -> None:
     """Commit one point from its located pool: RobustPrune its out-edges,
     then add backlinks with overflow re-pruning — the ``commit`` body
     every RobustPrune-style inserter shares.
     """
-    adj[pid] = robust_prune(dataset, pid, v_arr, d_arr, alpha, max_degree)
+    adj[pid] = robust_prune(dataset, pid, v_arr, d_arr, alpha, max_degree, backend=backend)
     for v in adj[pid]:
         nbrs = adj[v]
         if pid not in nbrs:
@@ -780,7 +852,137 @@ def prune_and_link(
             if len(nbrs) > max_degree:
                 arr = np.asarray(nbrs, dtype=np.intp)
                 dists = dataset.distances_from_index(v, arr)
-                adj[v] = robust_prune(dataset, v, arr, dists, alpha, max_degree)
+                adj[v] = robust_prune(
+                    dataset, v, arr, dists, alpha, max_degree, backend=backend
+                )
+
+
+class CommitMirror:
+    """Padded int64 mirror of a list-of-lists adjacency for wave commits.
+
+    The compiled commit path (:func:`commit_wave_pools` dispatching to
+    ``accel.run_commit_wave``) mutates adjacency rows hundreds of
+    thousands of times per build; doing that through Python lists costs
+    more than the pruning itself.  Instead the kernel operates on a
+    ``(n, cap)`` int64 row store with a ``deg`` length vector — this
+    mirror — which stays **authoritative between waves**: wave location
+    snapshots CSR straight off it (:meth:`snapshot`) and only
+    :meth:`flush` writes the rows back into the list adjacency (at the
+    end of a bulk phase, or before any code path that mutates the lists
+    directly).  While inactive (``arr is None``) the mirror is inert
+    and the list adjacency is authoritative — the numpy path never
+    touches it.  ``scratch`` persists the dispatch layer's kernel
+    buffers across waves.
+    """
+
+    def __init__(self) -> None:
+        self.arr: np.ndarray | None = None
+        self.deg: np.ndarray | None = None
+        self.cap = 0
+        self.scratch: dict[str, Any] = {}
+
+    @property
+    def active(self) -> bool:
+        return self.arr is not None
+
+    def pack(self, adj: Sequence[Sequence[int]], max_degree: int) -> None:
+        """Load the list adjacency into the padded store.  ``cap`` leaves
+        one slot of headroom over the longest row (and ``max_degree``)
+        for the transient pre-prune backlink append."""
+        n = len(adj)
+        longest = max((len(row) for row in adj), default=0)
+        self.cap = max(int(max_degree), longest) + 1
+        self.arr = np.zeros((n, self.cap), dtype=np.int64)
+        self.deg = np.zeros(n, dtype=np.int64)
+        for i, row in enumerate(adj):
+            m = len(row)
+            if m:
+                self.arr[i, :m] = row
+                self.deg[i] = m
+
+    def snapshot(self) -> ProximityGraph:
+        """CSR freeze of the padded rows — row-for-row identical to
+        ``snapshot_graph(n, adj, sort=False)`` over the flushed lists."""
+        n = len(self.deg)
+        offsets = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(self.deg, out=offsets[1:])
+        mask = np.arange(self.cap, dtype=np.int64)[None, :] < self.deg[:, None]
+        flat = self.arr[mask].astype(np.intp, copy=False)
+        return ProximityGraph.from_csr(n, offsets, flat, validate=False)
+
+    def flush(self, adj: list[list[int]]) -> None:
+        """Write every row back into the list adjacency and deactivate.
+
+        Deactivating (rather than staying synced) makes staleness
+        impossible: any later direct list mutation happens while the
+        mirror is inert, and the next wave commit re-packs."""
+        if self.arr is None:
+            return
+        arr, deg = self.arr, self.deg
+        self.arr = None
+        self.deg = None
+        for i in range(len(adj)):
+            d = int(deg[i])
+            adj[i] = arr[i, :d].tolist() if d else []
+
+
+def commit_wave_pools(
+    dataset: Dataset,
+    adj: list[list[int]],
+    pids: Sequence[int],
+    pools: Sequence[tuple[np.ndarray, np.ndarray]],
+    alpha: float,
+    max_degree: int,
+    backend: str | None = None,
+    mirror: CommitMirror | None = None,
+    include_own: bool = False,
+) -> None:
+    """Commit a whole wave of located pools in order — the
+    ``commit_wave`` body every RobustPrune-style inserter shares.
+
+    Per member this is exactly :func:`prune_and_link` (prepended, when
+    ``include_own`` is set, by Vamana's own-edge concatenation at
+    recomputed distances).  With a compiled ``backend`` and a
+    ``mirror``, the entire wave — every RobustPrune, backlink append,
+    and overflow re-prune — runs in **one** kernel call against the
+    mirror's padded rows, which is where the compiled build path's
+    throughput comes from: the per-commit Python and FFI overhead of
+    dispatching ~6 prunes per insertion otherwise dominates the build.
+    ``backend=None``/``"numpy"`` run the pinned per-member loop.
+    """
+    if backend is not None and backend != "numpy":
+        from repro import accel
+
+        resolved = accel.resolve_backend(backend)
+        if resolved != "numpy":
+            # A caller without a persistent mirror still gets the wave
+            # kernel through a transient one, flushed before returning.
+            transient = mirror is None
+            m = CommitMirror() if transient else mirror
+            try:
+                accel.run_commit_wave(
+                    resolved, dataset, adj, pids, pools, alpha, max_degree,
+                    include_own, m,
+                )
+            except accel.UnsupportedWorkloadError:
+                if backend != "auto":
+                    raise
+            else:
+                if transient:
+                    m.flush(adj)
+                return
+    if mirror is not None:
+        mirror.flush(adj)
+    for pid, pool in zip(pids, pools):
+        pid = int(pid)
+        v_arr = np.asarray(pool[0], dtype=np.intp)
+        d_arr = np.asarray(pool[1], dtype=np.float64)
+        if include_own and adj[pid]:
+            own = np.asarray(adj[pid], dtype=np.intp)
+            own_d = dataset.distances_from_index(pid, own)
+            v_arr = np.concatenate([v_arr, own])
+            d_arr = np.concatenate([d_arr, own_d])
+        prune_and_link(dataset, adj, pid, v_arr, d_arr, alpha, max_degree)
 
 
 class RepairInserter:
@@ -805,6 +1007,7 @@ class RepairInserter:
         max_degree: int,
         beam_width: int,
         alpha: float = 1.2,
+        backend: str | None = None,
     ):
         self.dataset = dataset
         self._adj = adj
@@ -812,6 +1015,8 @@ class RepairInserter:
         self.max_degree = int(max_degree)
         self.beam_width = int(beam_width)
         self.alpha = float(alpha)
+        self.backend = backend
+        self._mirror = CommitMirror()
 
     # -- WaveInserter protocol -----------------------------------------
 
@@ -820,10 +1025,14 @@ class RepairInserter:
 
     def locate_wave(self, pids: Sequence[int]) -> list[tuple[np.ndarray, np.ndarray]]:
         return locate_wave_pools(
-            self.dataset, self._adj, self.entry, pids, self.beam_width
+            self.dataset, self._adj, self.entry, pids, self.beam_width,
+            backend=self.backend, mirror=self._mirror,
         )
 
     def commit(self, pid: int, pool: tuple[np.ndarray, np.ndarray]) -> None:
+        # Direct list mutation below — the mirror (if a compiled wave
+        # left it active) must be written back first.
+        self._mirror.flush(self._adj)
         prune_and_link(
             self.dataset,
             self._adj,
@@ -832,7 +1041,21 @@ class RepairInserter:
             np.asarray(pool[1], dtype=np.float64),
             self.alpha,
             self.max_degree,
+            backend=self.backend,
         )
+
+    def commit_wave(
+        self,
+        pids: Sequence[int],
+        pools: Sequence[tuple[np.ndarray, np.ndarray]],
+    ) -> None:
+        commit_wave_pools(
+            self.dataset, self._adj, pids, pools, self.alpha,
+            self.max_degree, backend=self.backend, mirror=self._mirror,
+        )
+
+    def finish_waves(self) -> None:
+        self._mirror.flush(self._adj)
 
 
 def snapshot_graph(n: int, rows: Sequence[Any], sort: bool = True) -> ProximityGraph:
@@ -856,9 +1079,7 @@ def snapshot_graph(n: int, rows: Sequence[Any], sort: bool = True) -> ProximityG
     offsets = np.zeros(n + 1, dtype=np.int64)
     np.cumsum(lens, out=offsets[1:])
     total = int(offsets[-1])
-    flat = np.fromiter(
-        (int(v) for r in rows for v in r), dtype=np.intp, count=total
-    )
+    flat = np.fromiter(chain.from_iterable(rows), dtype=np.intp, count=total)
     if sort and total:
         row_ids = np.repeat(np.arange(n, dtype=np.intp), lens)
         flat = flat[np.lexsort((flat, row_ids))]

@@ -34,11 +34,12 @@ from repro.storage.base import (
     decompose_metric,
 )
 from repro.storage.disk import DiskTierStore, advise_memmap
-from repro.storage.flat import FlatStore
+from repro.storage.flat import FLAT_DTYPES, FlatStore
 from repro.storage.pq import PQParams, PQStore, encode_pq, train_pq
 from repro.storage.sq8 import SQ8Params, SQ8Store, encode_sq8, train_sq8
 
 __all__ = [
+    "FLAT_DTYPES",
     "STORAGE_KINDS",
     "DiskTierStore",
     "FlatQueryView",
@@ -65,6 +66,7 @@ __all__ = [
 STORAGE_KINDS = ("flat", "sq8", "pq")
 
 _PQ_OPTION_KEYS = frozenset({"m", "ks", "strict"})
+_FLAT_OPTION_KEYS = frozenset({"dtype"})
 
 
 def validate_storage_options(
@@ -84,7 +86,20 @@ def validate_storage_options(
         raise StorageConfigError(
             f"unknown storage kind {kind!r}; use one of {STORAGE_KINDS}"
         )
-    if kind in ("flat", "sq8"):
+    if kind == "flat":
+        unknown = set(opts) - _FLAT_OPTION_KEYS
+        if unknown:
+            raise StorageConfigError(
+                f"unknown flat options {sorted(unknown)}; "
+                f"valid: {sorted(_FLAT_OPTION_KEYS)}"
+            )
+        dtype = opts.get("dtype", "float64")
+        if dtype not in FLAT_DTYPES:
+            raise StorageConfigError(
+                f"flat dtype must be one of {FLAT_DTYPES}, got {dtype!r}"
+            )
+        return
+    if kind == "sq8":
         if opts:
             raise StorageConfigError(
                 f"{kind} storage takes no options, got {sorted(opts)}"
@@ -123,7 +138,7 @@ def make_store(
     """Train a store of ``kind`` over ``points`` and encode them."""
     validate_storage_options(kind, options, dim=_point_dim(points))
     if kind == "flat":
-        return FlatStore(metric, points)
+        return FlatStore(metric, points, **options)
     if kind == "sq8":
         return SQ8Store.train(metric, points, seed=seed, **options)
     return PQStore.train(metric, points, seed=seed, **options)
@@ -171,7 +186,7 @@ def store_from_params(
     """Assemble a store from shared training state (+ optional
     pre-encoded codes, e.g. a shared-arena view)."""
     if kind == "flat":
-        return FlatStore(metric, points)
+        return FlatStore(metric, points, **(options or {}))
     if codes is None:
         codes = encode_with_params(kind, params, points)
     if kind == "sq8":
@@ -194,7 +209,7 @@ def store_from_arrays(
     of persistence format v4 and of worker shard payloads."""
     kind = spec.get("kind", "flat")
     if kind == "flat":
-        return FlatStore(metric, points)
+        return FlatStore(metric, points, dtype=spec.get("dtype", "float64"))
     if kind == "sq8":
         params = SQ8Params(
             minv=np.asarray(arrays["minv"], dtype=np.float64),

@@ -1,0 +1,223 @@
+"""Compiled construction vs the numpy wave engine.
+
+The accel build path (``repro.accel.run_construction`` /
+``run_robust_prune`` / ``run_commit_wave`` behind the ``backend=`` seam
+of the insertion builders) must produce graphs *bit-identical* to the
+numpy wave engine — same adjacency, same order — on every workload it
+accepts, and must follow the same selection semantics as search: an
+explicitly requested backend that cannot run raises, ``"auto"`` falls
+back silently.
+
+Coverage:
+
+* 3-seed bit-identity of every available compiled backend vs numpy
+  across the four insertion builders (hnsw / nsw / vamana / diskann)
+  and across the three storage kinds (construction always runs over the
+  raw float64 points, so storage must not perturb the graph);
+* ``batch_size=1`` equivalence: the compiled singleton-wave schedule
+  replays the sequential reference insertions exactly;
+* unavailable-backend error vs silent ``"auto"`` fallback (unwarmed
+  auto builds run numpy and never warn), and the explicit-backend
+  ``UnsupportedWorkloadError`` on a metric without a kernel route;
+* sharded pooled-build identity: worker processes (spawn) build each
+  shard with the shipped concrete backend, bit-identical to the
+  in-process numpy build.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import accel
+from repro.core.index import ProximityGraphIndex
+from repro.core.sharded import ShardedIndex
+from repro.metrics.euclidean import MinkowskiMetric
+
+BACKENDS = [
+    b for b in ("numba", "cffi", "python") if b in accel.available_backends()
+]
+SEEDS = (0, 1, 2)
+BUILDERS = {
+    "hnsw": {"m": 6, "ef_construction": 32},
+    "nsw": {"m": 6},
+    "vamana": {"max_degree": 12, "beam_width": 24},
+    "diskann": {},
+}
+N, DIM, BATCH = 220, 4, 48
+
+
+@pytest.fixture(scope="module")
+def points() -> np.ndarray:
+    return np.random.default_rng(42).standard_normal((N, DIM))
+
+
+@pytest.fixture(autouse=True)
+def _reset_accel():
+    yield
+    accel.reset()
+
+
+def _csr(index: ProximityGraphIndex):
+    offsets, targets = index.graph.csr()
+    return np.asarray(offsets), np.asarray(targets)
+
+
+_REF_CACHE: dict[tuple, tuple] = {}
+
+
+def _reference(points, method, seed, **kw):
+    """The numpy wave build, cached per (method, seed, options)."""
+    key = (method, seed, tuple(sorted(kw.items())))
+    if key not in _REF_CACHE:
+        idx = ProximityGraphIndex.build(
+            points, method=method, seed=seed, batch_size=BATCH,
+            **BUILDERS[method], **kw,
+        )
+        _REF_CACHE[key] = (_csr(idx), idx)
+    return _REF_CACHE[key]
+
+
+def _assert_same_graph(got: ProximityGraphIndex, want_csr, label) -> None:
+    go, gt_ = _csr(got)
+    wo, wt = want_csr
+    assert np.array_equal(go, wo) and np.array_equal(gt_, wt), (
+        f"compiled build diverged from the numpy wave build: {label}"
+    )
+
+
+class TestBuilderBitIdentity:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("method", sorted(BUILDERS))
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_three_seed_equivalence(self, points, backend, method, seed):
+        want_csr, _ = _reference(points, method, seed)
+        got = ProximityGraphIndex.build(
+            points, method=method, seed=seed, batch_size=BATCH,
+            backend=backend, **BUILDERS[method],
+        )
+        _assert_same_graph(got, want_csr, (backend, method, seed))
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("storage", ["flat", "sq8", "pq"])
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_storage_kinds_do_not_perturb_construction(
+        self, points, backend, storage, seed
+    ):
+        """Construction always measures the raw float64 points — the
+        traversal storage of the finished index must not change the
+        graph the compiled path builds."""
+        want_csr, _ = _reference(points, "vamana", seed)
+        got = ProximityGraphIndex.build(
+            points, method="vamana", seed=seed, batch_size=BATCH,
+            backend=backend, storage=storage, **BUILDERS["vamana"],
+        )
+        _assert_same_graph(got, want_csr, (backend, storage, seed))
+        assert got.store.kind == storage
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_batch_size_one_replays_sequential(self, points, backend):
+        """Singleton waves route through the sequential insertion path;
+        a compiled ``batch_size=1`` build must equal the numpy
+        sequential (``batch_size=None``) reference exactly."""
+        seq = ProximityGraphIndex.build(
+            points, method="vamana", seed=3, **BUILDERS["vamana"],
+        )
+        got = ProximityGraphIndex.build(
+            points, method="vamana", seed=3, batch_size=1,
+            backend=backend, **BUILDERS["vamana"],
+        )
+        _assert_same_graph(got, _csr(seq), (backend, "batch_size=1"))
+
+
+class TestBackendSelection:
+    def test_unavailable_backend_raises_clear_error(self, points):
+        missing = [
+            b for b in ("numba", "cffi") if b not in accel.available_backends()
+        ]
+        if not missing:
+            pytest.skip("every compiled backend is available here")
+        with pytest.raises(accel.AccelUnavailableError):
+            ProximityGraphIndex.build(
+                points, method="vamana", seed=0, batch_size=BATCH,
+                backend=missing[0], **BUILDERS["vamana"],
+            )
+
+    def test_unknown_backend_name_rejected(self, points):
+        with pytest.raises(ValueError, match="unknown accel backend"):
+            ProximityGraphIndex.build(
+                points, method="vamana", seed=0, batch_size=BATCH,
+                backend="fortran", **BUILDERS["vamana"],
+            )
+
+    def test_auto_unwarmed_builds_numpy_silently(self, points):
+        """``backend="auto"`` before any warm() runs the numpy engines
+        — bit-identical to the default build, and never a warning."""
+        want_csr, _ = _reference(points, "vamana", 0)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            got = ProximityGraphIndex.build(
+                points, method="vamana", seed=0, batch_size=BATCH,
+                backend="auto", **BUILDERS["vamana"],
+            )
+        _assert_same_graph(got, want_csr, "auto-unwarmed")
+
+    @pytest.mark.skipif(not BACKENDS, reason="no warmable backend here")
+    def test_auto_serves_warmed_backend_identically(self, points):
+        accel.warm(BACKENDS[0])
+        want_csr, _ = _reference(points, "vamana", 1)
+        got = ProximityGraphIndex.build(
+            points, method="vamana", seed=1, batch_size=BATCH,
+            backend="auto", **BUILDERS["vamana"],
+        )
+        _assert_same_graph(got, want_csr, ("auto-warmed", BACKENDS[0]))
+
+    @pytest.mark.skipif(not BACKENDS, reason="no warmable backend here")
+    def test_unsupported_metric_explicit_raises_auto_falls_back(self, points):
+        """No kernel route exists for Minkowski p=3: an explicit backend
+        must raise the workload error, ``auto`` silently runs numpy."""
+        metric = MinkowskiMetric(3.0)
+        with pytest.raises(accel.UnsupportedWorkloadError):
+            ProximityGraphIndex.build(
+                points, method="vamana", seed=0, batch_size=BATCH,
+                metric=metric, backend=BACKENDS[0], **BUILDERS["vamana"],
+            )
+        accel.warm(BACKENDS[0])
+        want = ProximityGraphIndex.build(
+            points, method="vamana", seed=0, batch_size=BATCH,
+            metric=metric, **BUILDERS["vamana"],
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            got = ProximityGraphIndex.build(
+                points, method="vamana", seed=0, batch_size=BATCH,
+                metric=metric, backend="auto", **BUILDERS["vamana"],
+            )
+        _assert_same_graph(got, _csr(want), "auto-unsupported-metric")
+
+
+class TestShardedPooledBuild:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_pooled_build_identity_under_spawn(self, points, backend):
+        """Worker processes receive the concrete backend name, warm it
+        from the on-disk kernel cache, and build each shard
+        bit-identically to the in-process numpy build."""
+        ref = ShardedIndex.build(
+            points, method="vamana", seed=5, shards=2, workers=1,
+            batch_size=BATCH, **BUILDERS["vamana"],
+        )
+        acc = ShardedIndex.build(
+            points, method="vamana", seed=5, shards=2, workers=2,
+            batch_size=BATCH, backend=backend, **BUILDERS["vamana"],
+        )
+        try:
+            for j, (a, b) in enumerate(zip(ref.shards, acc.shards)):
+                ao, at = a.graph.csr()
+                bo, bt = b.graph.csr()
+                assert np.array_equal(np.asarray(ao), np.asarray(bo)), (backend, j)
+                assert np.array_equal(np.asarray(at), np.asarray(bt)), (backend, j)
+        finally:
+            ref.close()
+            acc.close()

@@ -613,30 +613,86 @@ class TestKernelParityRule:
         )
         assert any("-ffp-contract=off" in f.message for f in hits)
 
+    FULL_COVERAGE = """
+        _CFLAGS = ["-O2", "-fPIC", "-ffp-contract=off"]
+
+        def _plan(dataset, store, Q):
+            kind = store.kind
+            if kind == "flat":
+                return flat_plan()
+            elif kind == "sq8":
+                return sq8_plan()
+            elif kind == "pq":
+                return pq_plan()
+            raise UnsupportedWorkloadError(kind)
+
+        def _coord_kind(metric):
+            if isinstance(metric, EuclideanMetric):
+                return 0
+            if isinstance(metric, ChebyshevMetric):
+                return 1
+            raise UnsupportedWorkloadError(metric)
+
+        def run_construction(backend, graph, dataset, starts, queries):
+            return _plan(dataset, None, queries)
+
+        def run_robust_prune(backend, dataset, pid, v_arr, d_arr):
+            kind, factor = _coord_kind(dataset.metric)
+            return kind
+
+        def run_commit_wave(backend, dataset, adj, pids, pools):
+            kind, factor = _coord_kind(dataset.metric)
+            return kind
+        """
+
     def test_full_coverage_passes(self):
-        assert not run_rule(
-            """
-            _CFLAGS = ["-O2", "-fPIC", "-ffp-contract=off"]
+        assert not run_rule(self.FULL_COVERAGE, "kernel-parity")
 
-            def _plan(dataset, store, Q):
-                kind = store.kind
-                if kind == "flat":
-                    return flat_plan()
-                elif kind == "sq8":
-                    return sq8_plan()
-                elif kind == "pq":
-                    return pq_plan()
-                raise UnsupportedWorkloadError(kind)
-
-            def _coord_kind(metric):
-                if isinstance(metric, EuclideanMetric):
-                    return 0
-                if isinstance(metric, ChebyshevMetric):
-                    return 1
-                raise UnsupportedWorkloadError(metric)
-            """,
-            "kernel-parity",
+    def test_missing_construction_entry_point_fires(self):
+        """A dispatch module whose construction path lost an entry point
+        (here: no run_commit_wave at all) must fire."""
+        src = self.FULL_COVERAGE.replace(
+            "def run_commit_wave", "def some_other_helper"
         )
+        hits = run_rule(src, "kernel-parity")
+        assert any("run_commit_wave" in f.message for f in hits)
+
+    def test_construction_bypassing_workload_table_fires(self):
+        """A construction entry point that classifies its own workload
+        inline (never consulting _coord_kind) silently loses metric
+        coverage — true positive."""
+        src = self.FULL_COVERAGE.replace(
+            """def run_robust_prune(backend, dataset, pid, v_arr, d_arr):
+            kind, factor = _coord_kind(dataset.metric)
+            return kind""",
+            """def run_robust_prune(backend, dataset, pid, v_arr, d_arr):
+            if isinstance(dataset.metric, EuclideanMetric):
+                return 0
+            return 1""",
+        )
+        hits = run_rule(src, "kernel-parity")
+        assert any(
+            "run_robust_prune" in f.message and "_coord_kind" in f.message
+            for f in hits
+        )
+
+    def test_locate_bypassing_plan_fires(self):
+        src = self.FULL_COVERAGE.replace(
+            "return _plan(dataset, None, queries)",
+            "return flat_plan()",
+        )
+        hits = run_rule(src, "kernel-parity")
+        assert any(
+            "run_construction" in f.message and "_plan" in f.message
+            for f in hits
+        )
+
+    def test_real_dispatch_module_passes(self):
+        """False-positive guard: the shipped dispatch module satisfies
+        the construction-coverage contract."""
+        src = (REPO_SRC / "accel" / "dispatch.py").read_text()
+        hits = run_rule(src, "kernel-parity", path=str(REPO_SRC / "accel" / "dispatch.py"))
+        assert not hits
 
     def test_unrelated_module_passes(self):
         assert not run_rule(

@@ -368,7 +368,7 @@ def test_sharded_set_storage_flat_rejects_options():
     sharded = ShardedIndex.build(pts, epsilon=1.0, method="vamana", seed=1,
                                  shards=2)
     try:
-        with pytest.raises(StorageConfigError, match="no options"):
+        with pytest.raises(StorageConfigError, match="unknown flat options"):
             sharded.set_storage("flat", m=4)
     finally:
         sharded.close()
@@ -376,13 +376,14 @@ def test_sharded_set_storage_flat_rejects_options():
 
 def test_both_front_doors_reject_flat_storage_options():
     """build(storage='flat', storage_options=...) must fail identically
-    for the flat and sharded kinds — never silently drop the options."""
+    for the flat and sharded kinds — never silently drop the options.
+    (``dtype`` is the one valid flat option; anything else rejects.)"""
     pts = uniform_cube(100, 3, np.random.default_rng(25))
-    with pytest.raises(StorageConfigError, match="no options"):
+    with pytest.raises(StorageConfigError, match="unknown flat options"):
         ProximityGraphIndex.build(
             pts, method="vamana", storage="flat", storage_options={"m": 4}
         )
-    with pytest.raises(StorageConfigError, match="no options"):
+    with pytest.raises(StorageConfigError, match="unknown flat options"):
         ShardedIndex.build(
             pts, method="vamana", shards=2, storage="flat",
             storage_options={"m": 4},
@@ -468,3 +469,138 @@ def test_sharded_build_trains_codebooks_once():
     # trained over the whole collection, not the shard
     assert all(s.store.trained_on == 200 for s in sharded.shards)
     sharded.close()
+
+
+# ----------------------------------------------------------------------
+# Flat float32 traversal storage
+# ----------------------------------------------------------------------
+
+
+class TestFlatFloat32:
+    """``FlatStore(dtype="float32")``: traversal over a half-width copy,
+    exact float64 rerank, dtype recorded in the wire form."""
+
+    def _build_pair(self, n=500, d=12, seed=3):
+        pts = np.random.default_rng(5).normal(size=(n, d))
+        f64 = ProximityGraphIndex.build(pts, method="vamana", seed=seed)
+        f32 = ProximityGraphIndex.build(
+            pts, method="vamana", seed=seed,
+            storage="flat", storage_options={"dtype": "float32"},
+        )
+        return pts, f64, f32
+
+    def test_option_validation(self, points):
+        with pytest.raises(StorageConfigError, match="flat dtype"):
+            make_store("flat", EuclideanMetric(), points, dtype="float16")
+        with pytest.raises(StorageConfigError, match="unknown flat options"):
+            make_store("flat", EuclideanMetric(), points, bits=32)
+        with pytest.raises(StorageConfigError, match="flat dtype"):
+            FlatStore(EuclideanMetric(), points, dtype="f32")
+        # sq8 stays option-free
+        with pytest.raises(StorageConfigError, match="no options"):
+            make_store("sq8", EuclideanMetric(), points, dtype="float32")
+
+    def test_store_shape(self, points):
+        st = make_store("flat", EuclideanMetric(), points, dtype="float32")
+        assert st.is_quantized  # two-stage search: traverse f32, rerank f64
+        assert st.codes is None
+        assert st.spec() == {"kind": "flat", "dtype": "float32"}
+        assert np.asarray(st.bind(points[:2]).points).dtype == np.float32
+        f64 = make_store("flat", EuclideanMetric(), points)
+        assert not f64.is_quantized and f64.spec() == {"kind": "flat"}
+        # traversal-resident bytes are halved
+        assert st.traversal_bytes_per_vector() == f64.traversal_bytes_per_vector() / 2
+        # lifecycle preserves the dtype
+        ds = type("DS", (), {"metric": EuclideanMetric(), "points": points})
+        assert st.refresh(ds, 0).dtype == "float32"
+        assert st.retrained(ds, 0).dtype == "float32"
+
+    def test_recall_delta_vs_float64_is_pinned(self):
+        """The recall cost of float32 rounding is bounded by ~1e-7
+        relative distance error: recall@10 may not drop more than one
+        percentage point below the float64 build on the same data."""
+        pts, f64, f32 = self._build_pair()
+        queries = np.random.default_rng(6).normal(size=(40, 12))
+        p = SearchParams(beam_width=48, seed=0)
+        exact = np.linalg.norm(pts[None, :, :] - queries[:, None, :], axis=2)
+        gt = np.argsort(exact, axis=1, kind="stable")[:, :10]
+        def recall(res):
+            return np.mean([
+                len(set(res.ids[i].tolist()) & set(gt[i].tolist())) / 10
+                for i in range(len(queries))
+            ])
+        r64 = recall(f64.search(queries, k=10, params=p))
+        r32 = recall(f32.search(queries, k=10, params=p))
+        assert r32 >= r64 - 0.01
+
+    def test_reported_distances_stay_exact_float64(self):
+        pts, _, f32 = self._build_pair(n=300)
+        queries = np.random.default_rng(8).normal(size=(7, 12))
+        res = f32.search(queries, k=5, params=SearchParams(beam_width=32, seed=0))
+        for i in range(len(queries)):
+            for j in range(5):
+                pid = int(res.ids[i, j])
+                want = float(np.linalg.norm(pts[pid] - queries[i]))
+                assert res.distances[i, j] == pytest.approx(want, abs=1e-12)
+
+    def test_v4_and_v5_round_trip_record_dtype(self, tmp_path):
+        pts, _, f32 = self._build_pair(n=250)
+        queries = np.random.default_rng(9).normal(size=(5, 12))
+        p = SearchParams(beam_width=32, seed=0)
+        want = f32.search(queries, k=5, params=p)
+        v4 = ProximityGraphIndex.load(f32.save(tmp_path / "idx.npz"))
+        assert v4.store.dtype == "float32" and v4.store.is_quantized
+        got = v4.search(queries, k=5, params=p)
+        assert np.array_equal(want.ids, got.ids)
+        assert np.array_equal(want.distances, got.distances)
+        v5 = ProximityGraphIndex.load(f32.save(tmp_path / "disk", format="disk"))
+        inner = getattr(v5.store, "inner", v5.store)
+        assert inner.dtype == "float32"
+        got5 = v5.search(queries, k=5, params=p)
+        assert np.array_equal(want.ids, got5.ids)
+        assert np.array_equal(want.distances, got5.distances)
+
+    def test_sharded_fanout_and_snapshot_keep_dtype(self):
+        pts = uniform_cube(240, 4, np.random.default_rng(21))
+        queries = np.random.default_rng(22).uniform(size=(9, 4))
+        p = SearchParams(beam_width=32, seed=0)
+        sharded = ShardedIndex.build(
+            pts, epsilon=1.0, method="vamana", seed=3, shards=2, workers=2,
+            storage="flat", storage_options={"dtype": "float32"},
+        )
+        try:
+            assert all(s.store.dtype == "float32" for s in sharded.shards)
+            want = sharded.search(queries, k=5, params=p)
+            sharded.workers = 1
+            got = sharded.search(queries, k=5, params=p)
+            assert np.array_equal(want.ids, got.ids)
+            assert np.array_equal(want.distances, got.distances)
+            snap = sharded.snapshot()
+        finally:
+            sharded.close()
+        # the snapshot owns its arrays and keeps the traversal dtype
+        assert all(s.store.dtype == "float32" for s in snap.shards)
+        after = snap.search(queries, k=5, params=p)
+        assert np.array_equal(want.ids, after.ids)
+
+    def test_accel_explicit_backend_rejects_auto_falls_back(self):
+        """Compiled kernels are float64-only: an explicit backend on a
+        float32 flat store raises the workload error, ``auto`` silently
+        runs the numpy engines."""
+        from repro import accel
+
+        pts, _, f32 = self._build_pair(n=200)
+        queries = np.random.default_rng(11).normal(size=(4, 12))
+        try:
+            accel.warm("python")
+            with pytest.raises(accel.UnsupportedWorkloadError, match="float64"):
+                f32.search(
+                    queries, k=3,
+                    params=SearchParams(seed=0, backend="python"),
+                )
+            res = f32.search(
+                queries, k=3, params=SearchParams(seed=0, backend="auto")
+            )
+            assert (res.ids >= 0).all()
+        finally:
+            accel.reset()
